@@ -1,0 +1,63 @@
+"""Ablation: compute_time vs I/O-boundedness on the Summit storage model.
+
+The paper positions MACSio's ``compute_time`` as "a degree of freedom
+that can be adjusted independently of static data size modeling for
+dynamic studies to fine-tune the I/O burstiness".  This bench sweeps it
+and locates the compute/I/O crossover for the case4 workload.
+"""
+
+import numpy as np
+
+from repro.analysis.burstiness import analyze_schedule
+from repro.analysis.report import format_table
+from repro.iosim.storage import StorageModel
+from repro.macsio.dump import run_macsio
+from repro.macsio.params import MacsioParams
+from repro.parallel.topology import JobTopology
+
+
+def test_ablation_compute_time_burstiness(once, emit):
+    nprocs, nnodes = 32, 2  # the case4 job shape
+    part_size = 1_550_000 / 2.5
+
+    def sweep():
+        out = {}
+        for compute_time in (0.0, 0.05, 0.2, 1.0, 5.0):
+            params = MacsioParams(
+                num_dumps=10, part_size=part_size,
+                dataset_growth=1.013075, compute_time=compute_time,
+            )
+            run = run_macsio(
+                params, nprocs,
+                storage=StorageModel(
+                    stream_bandwidth=1.5e9, node_bandwidth=6e9,
+                    metadata_latency=2e-3, variability=0.0,
+                ),
+                topology=JobTopology(nprocs, nnodes),
+            )
+            out[compute_time] = analyze_schedule(run.schedule)
+        return out
+
+    stats = once(sweep)
+    rows = [
+        (f"{ct:g}", f"{s.wall_seconds:.2f}", f"{s.io_seconds:.2f}",
+         f"{s.duty_cycle:.1%}", "yes" if s.is_io_bound() else "no")
+        for ct, s in stats.items()
+    ]
+    emit("ablation_burstiness", format_table(
+        ["compute_time (s)", "wall (s)", "I/O (s)", "duty cycle", "I/O-bound?"],
+        rows,
+        title="Ablation: compute_time vs burstiness (case4 bytes, 32 ranks / 2 nodes)",
+    ))
+
+    # --- findings --------------------------------------------------------
+    # zero compute => pure I/O (duty cycle 1); long compute => compute-bound
+    assert stats[0.0].duty_cycle == 1.0
+    assert stats[5.0].duty_cycle < 0.1
+    # duty cycle is monotone decreasing in compute_time
+    cts = sorted(stats)
+    cycles = [stats[ct].duty_cycle for ct in cts]
+    assert all(b <= a for a, b in zip(cycles, cycles[1:]))
+    # total I/O time is compute_time-independent (same bytes)
+    ios = [stats[ct].io_seconds for ct in cts]
+    assert max(ios) - min(ios) < 1e-9

@@ -1,0 +1,66 @@
+"""Ablation: N-to-N vs grouped MIF vs single-shared-file on burst time.
+
+Beyond the paper: the model fixes parallel_file_mode to MIF nprocs
+(N-to-N) because that is AMReX's default.  This ablation quantifies the
+trade-off the choice embeds on the Summit-like storage model: N-to-N
+pays per-file metadata at scale, SIF serializes the bandwidth.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, human_bytes
+from repro.iosim.filesystem import VirtualFileSystem
+from repro.iosim.storage import StorageModel
+from repro.macsio.dump import run_macsio
+from repro.macsio.params import MacsioParams
+from repro.parallel.topology import JobTopology
+
+
+def test_ablation_file_modes(once, emit):
+    nprocs, nnodes = 64, 4
+    part_size = 2_000_000 / 2.5  # ~2 MB realized per task per dump
+
+    def run_modes():
+        out = {}
+        for label, kwargs in [
+            ("MIF nprocs (N-to-N)", dict(parallel_file_mode="MIF", file_count=nprocs)),
+            ("MIF nnodes", dict(parallel_file_mode="MIF", file_count=nnodes)),
+            ("SIF (single file)", dict(parallel_file_mode="SIF", file_count=1)),
+        ]:
+            params = MacsioParams(num_dumps=4, part_size=part_size, **kwargs)
+            fs = VirtualFileSystem()
+            run = run_macsio(
+                params, nprocs, fs=fs,
+                storage=StorageModel(
+                    stream_bandwidth=1.5e9, node_bandwidth=6e9,
+                    metadata_latency=5e-3, variability=0.0,
+                ),
+                topology=JobTopology(nprocs, nnodes),
+            )
+            out[label] = (
+                len(fs.files("data")),
+                run.total_bytes,
+                run.schedule.io_seconds,
+            )
+        return out
+
+    data = once(run_modes)
+    rows = [
+        (label, files, human_bytes(total), f"{io_s:.3f}s")
+        for label, (files, total, io_s) in data.items()
+    ]
+    emit("ablation_filemode", format_table(
+        ["file mode", "data files (4 dumps)", "total bytes", "modeled I/O time"],
+        rows, title=f"Ablation: file mode at {nprocs} ranks / {nnodes} nodes",
+    ))
+
+    # --- findings --------------------------------------------------------
+    files_nton = data["MIF nprocs (N-to-N)"][0]
+    files_mif = data["MIF nnodes"][0]
+    files_sif = data["SIF (single file)"][0]
+    assert files_nton == nprocs * 4
+    assert files_mif == nnodes * 4
+    assert files_sif == 4
+    # total bytes are mode-independent (same data marshalled)
+    totals = [total for _, total, _ in data.values()]
+    assert max(totals) - min(totals) <= 0.01 * max(totals)

@@ -1,0 +1,36 @@
+"""Fig. 2: the Castro plotfile directory structure (N-to-N)."""
+
+from repro.campaign.cases import small_solver_case
+from repro.campaign.runner import run_case
+from repro.iosim.filesystem import VirtualFileSystem, format_tree
+from repro.plotfile.reader import inspect_plotfile, list_plotfiles
+
+
+def test_fig2_plotfile_structure(once, emit):
+    case = small_solver_case(n=64, max_level=2)
+    fs = VirtualFileSystem()
+    once(run_case, case, fs=fs)
+    plots = list_plotfiles(fs, case.inputs.plot_file)
+    first_dir = plots[0][1]
+    text = (
+        "Fig. 2: AMReX Castro simulation output structure "
+        f"({len(plots)} dumps; first shown)\n\n" + format_tree(fs, first_dir)
+    )
+    emit("fig02_plotfile_tree", text)
+
+    # --- structural assertions matching the figure -------------------
+    files = fs.files(first_dir)
+    names = {f[len(first_dir) + 1:] for f in files}
+    assert "Header" in names, "per-step Header metadata file"
+    assert "job_info" in names, "job_info metadata file"
+    levels = {n.split("/")[0] for n in names if n.startswith("Level_")}
+    assert "Level_0" in levels and len(levels) >= 2, "per-level directories"
+    info = inspect_plotfile(fs, first_dir)
+    for lev, linfo in info.levels.items():
+        assert linfo.cellh_bytes > 0, f"Cell_H missing at level {lev}"
+        assert linfo.ntasks_with_data >= 1, "per-task Cell_D files"
+    # N-to-N: no level may have more files than tasks
+    for linfo in info.levels.values():
+        assert linfo.ntasks_with_data <= case.nprocs
+    # dump names carry the step id: <plot_file>NNNNN
+    assert first_dir == f"{case.inputs.plot_file}00000"

@@ -1,0 +1,34 @@
+"""Fig. 3: MACSio's N-to-N output pattern (miftmpl interface)."""
+
+import re
+
+from repro.iosim.filesystem import VirtualFileSystem, format_tree
+from repro.macsio.dump import run_macsio
+from repro.macsio.params import MacsioParams
+
+
+def test_fig3_macsio_output_pattern(once, emit):
+    nprocs, ndumps = 4, 3
+    fs = VirtualFileSystem()
+    params = MacsioParams(num_dumps=ndumps, part_size=10_000)
+    once(run_macsio, params, nprocs, fs=fs)
+    emit("fig03_macsio_tree",
+         "Fig. 3: MACSio N-to-N output (miftmpl), ordered by task and step\n\n"
+         + format_tree(fs))
+
+    data = [f for f in fs.files("data")]
+    meta = [f for f in fs.files("metadata")]
+    # one data file per (task, step)
+    assert len(data) == nprocs * ndumps
+    pat = re.compile(r"data/macsio_json_(\d{5})_(\d{3})\.json$")
+    tasks, steps = set(), set()
+    for f in data:
+        m = pat.match(f)
+        assert m, f"unexpected data filename {f}"
+        tasks.add(int(m.group(1)))
+        steps.add(int(m.group(2)))
+    assert tasks == set(range(nprocs))
+    assert steps == set(range(ndumps))
+    # one root metadata file per step
+    assert len(meta) == ndumps
+    assert all(re.match(r"metadata/macsio_json_root_\d{3}\.json$", f) for f in meta)

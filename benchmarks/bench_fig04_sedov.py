@@ -1,0 +1,67 @@
+"""Fig. 4: the Sedov solution — moving refined levels and the Mach field.
+
+(a) the AMR mesh follows the shock; (b) Mach number after 20 timesteps.
+We regenerate both as data: per-dump level layouts, the radial Mach
+profile, and the shock-radius track against the Sedov–Taylor law.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_series, format_table
+from repro.hydro.eos import GammaLawEOS
+from repro.hydro.sedov import SedovProblem
+from repro.hydro.state import cons_to_prim, mach_number
+from repro.sim.castro import CastroSim
+from repro.sim.diagnostics import radial_profile, shock_radius_estimate
+from repro.sim.inputs import CastroInputs
+
+
+def test_fig4_sedov_solution(once, emit):
+    inputs = CastroInputs(
+        n_cell=(64, 64), max_level=2, max_step=20, plot_int=5,
+        regrid_int=2, cfl=0.5, stop_time=1e9, max_grid_size=32,
+    )
+    problem = SedovProblem(r_init=0.06)
+    sim = CastroSim(inputs, nprocs=4, problem=problem)
+    result = once(sim.run)
+
+    # (a) the mesh: refined levels exist and track the shock
+    rows = []
+    for ev in result.outputs:
+        r_shock = problem.shock_radius(ev.time) if ev.time > 0 else problem.r_init
+        rows.append((ev.step, f"{ev.time:.3e}", f"{r_shock:.3f}",
+                     " / ".join(map(str, ev.cells_per_level))))
+    mesh_text = format_table(
+        ["step", "time", "R_shock (analytic)", "cells per level"],
+        rows, title="Fig. 4a: refined levels follow the moving shock",
+    )
+
+    # (b) the Mach field after 20 steps, as a radial profile
+    g = sim._g
+    U = sim._U[:, g:-g, g:-g]
+    eos = GammaLawEOS()
+    mach = mach_number(cons_to_prim(U, eos), eos)
+    centers, prof = radial_profile(mach, sim._fine_geom, nbins=24,
+                                   center=problem.center)
+    mach_text = format_series(
+        centers, {"mach": prof}, x_label="radius",
+        title="Fig. 4b: Mach number radial profile after 20 timesteps",
+        fmt="{:.4f}",
+    )
+    emit("fig04_sedov", mesh_text + "\n\n" + mach_text)
+
+    # --- physics assertions -------------------------------------------
+    # every dump refines at least 2 levels (the blast is present)
+    for ev in result.outputs:
+        assert len(ev.cells_per_level) == 3
+    # the Mach profile peaks off-center (expanding shell), and the flow
+    # is supersonic somewhere behind the front (pointwise — the
+    # azimuthal average dilutes the thin shell)
+    peak_idx = int(np.argmax(prof))
+    assert centers[peak_idx] > 0.02
+    assert mach.max() > 1.0
+    assert prof.max() > 0.5
+    # measured shock radius within 35% of Sedov-Taylor (coarse 64^2 run)
+    r_meas = shock_radius_estimate(U, sim._fine_geom, center=problem.center)
+    r_st = problem.shock_radius(result.final_time)
+    assert 0.65 < r_meas / r_st < 1.35

@@ -1,0 +1,71 @@
+"""Fig. 5: cumulative output size vs cumulative output cells, all cases.
+
+The paper's log-log scatter mixes near-linear runs (few levels / weak
+refinement) with clearly super-linear ones (deep hierarchies).  We
+regenerate a representative campaign subset and classify each curve.
+"""
+
+import numpy as np
+
+from repro.analysis.compare import classify_linearity
+from repro.analysis.report import format_table
+from repro.campaign.runner import run_campaign
+from repro.campaign.sweep import sweep_cases
+
+
+def test_fig5_cumulative_output_sizes(once, emit):
+    cases = sweep_cases(
+        mesh_ladder=[(128, 4, 1), (256, 8, 1), (512, 32, 2), (1024, 64, 4)],
+        cfls=(0.3, 0.6),
+        max_levels=(1, 3),
+        plot_int=10,
+        max_step=100,
+    )
+    campaign = once(run_campaign, cases)
+
+    rows = []
+    series_lines = ["Fig. 5 series: x = counter*ncells (Eq. 1), y = cumulative bytes"]
+    labels = {}
+    for rec in campaign.records:
+        x = rec.x_series()
+        y = rec.cumulative_bytes()
+        label = classify_linearity(x, y)
+        labels[rec.name] = label
+        rows.append((
+            rec.name, f"{rec.n_cell[0]}^2", rec.max_level + 1, rec.cfl,
+            f"{x[-1]:.3g}", f"{y[-1]:.3g}", label,
+        ))
+        series_lines.append(
+            f"{rec.name}: x={np.array2string(x, precision=3, max_line_width=200)} "
+            f"y={np.array2string(y, precision=3, max_line_width=200)}"
+        )
+    table = format_table(
+        ["case", "mesh", "levels", "cfl", "x_final", "y_final", "behaviour"],
+        rows, title="Fig. 5: cumulative output per case (linear vs non-linear)",
+    )
+    emit("fig05_cumulative", table + "\n\n" + "\n".join(series_lines))
+
+    # --- shape assertions ----------------------------------------------
+    # The paper's central Fig. 5 observation: some runs are near-linear,
+    # another set clearly deviates — and the deviation is driven by the
+    # level count.  Check per-pair: each 4-level run is less linear than
+    # its 2-level sibling, and both behaviours occur in the campaign.
+    def resid(rec):
+        x, y = rec.x_series(), rec.cumulative_bytes()
+        a = float(x @ y) / float(x @ x)
+        return float(np.sqrt(np.mean((y - a * x) ** 2))) / float(np.mean(np.abs(y)))
+
+    by_name = {rec.name: rec for rec in campaign.records}
+    for name in list(by_name):
+        if "maxl2" in name:
+            sibling = name.replace("maxl2", "maxl4")
+            assert resid(by_name[sibling]) > resid(by_name[name])
+    assert any(lab == "linear" for lab in labels.values())
+    assert any(lab == "non-linear" for lab in labels.values())
+    # y grows monotonically with x everywhere
+    for rec in campaign.records:
+        assert (np.diff(rec.cumulative_bytes()) > 0).all()
+    # larger meshes produce more bytes at equal settings
+    by_name = campaign.by_name()
+    assert (by_name["sweep_n1024_cfl3_maxl4_np64"].cumulative_bytes()[-1]
+            > by_name["sweep_n128_cfl3_maxl4_np4"].cumulative_bytes()[-1])

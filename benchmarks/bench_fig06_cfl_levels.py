@@ -1,0 +1,47 @@
+"""Fig. 6: CFL and level-count dependence of the cumulative output.
+
+The paper's finding for the 512^2 / 32-task pivot: "while the CFL number
+has some influence on the overall output size, the number of AMR levels
+has a larger effect".
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, human_bytes
+from repro.campaign.cases import case4
+from repro.campaign.runner import run_case
+
+
+def test_fig6_cfl_and_level_dependence(once, emit):
+    def run_grid():
+        out = {}
+        for max_level in (1, 3):
+            for cfl in (0.3, 0.4, 0.5, 0.6):
+                result = run_case(case4(cfl=cfl, max_level=max_level))
+                steps, cum = result.trace.cumulative_bytes_by_step()
+                out[(cfl, max_level)] = float(cum[-1])
+        return out
+
+    totals = once(run_grid)
+    rows = [
+        (f"{cfl:.1f}", lev + 1, human_bytes(totals[(cfl, lev)]))
+        for lev in (1, 3) for cfl in (0.3, 0.4, 0.5, 0.6)
+    ]
+    emit("fig06_cfl_levels", format_table(
+        ["cfl", "levels", "cumulative output"],
+        rows,
+        title="Fig. 6: cumulative output, 512^2 L0 / 32 tasks / 2 nodes",
+    ))
+
+    # --- the paper's orderings -----------------------------------------
+    # more levels -> more output, at every CFL
+    for cfl in (0.3, 0.4, 0.5, 0.6):
+        assert totals[(cfl, 3)] > totals[(cfl, 1)]
+    # higher CFL -> more output, at fixed levels
+    for lev in (1, 3):
+        vals = [totals[(c, lev)] for c in (0.3, 0.4, 0.5, 0.6)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+    # levels dominate: the level effect exceeds the full CFL span effect
+    level_effect = totals[(0.3, 3)] - totals[(0.3, 1)]
+    cfl_effect = totals[(0.6, 1)] - totals[(0.3, 1)]
+    assert level_effect > cfl_effect

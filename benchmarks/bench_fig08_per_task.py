@@ -1,0 +1,69 @@
+"""Fig. 8: per-task output at each level for case27 — load imbalance.
+
+1024^2 L0 mesh, 64 ranks, 4 mesh levels, 5 output steps.  The paper:
+"AMR effects result in unbalanced loads at all 4 levels", concluding
+MACSio can model per-level but not per-rank loads.
+"""
+
+import numpy as np
+
+from repro.analysis.loadbalance import (
+    active_fraction,
+    gini_coefficient,
+    imbalance_factor,
+)
+from repro.analysis.report import format_table
+from repro.campaign.cases import case27
+from repro.campaign.runner import run_case
+from repro.core.variables import per_task_series
+
+
+def test_fig8_per_task_output(once, emit):
+    case = case27()
+    result = once(run_case, case)
+    last_step = max(ev.step for ev in result.outputs)
+    levels = result.trace.levels()
+    assert len(levels) == 4  # L0..L3, "4 mesh levels" in the caption
+
+    rows = []
+    metrics = {}
+    for lev in levels:
+        per = per_task_series(result.trace, case.nprocs, level=lev)[last_step]
+        metrics[lev] = {
+            "imbalance": imbalance_factor(per),
+            "gini": gini_coefficient(per),
+            "active": active_fraction(per),
+        }
+        rows.append((
+            f"L{lev}",
+            f"{per.sum():,}",
+            f"{per.max():,}",
+            f"{metrics[lev]['imbalance']:.2f}",
+            f"{metrics[lev]['gini']:.3f}",
+            f"{metrics[lev]['active']:.2f}",
+        ))
+    table = format_table(
+        ["level", "total bytes", "max task bytes", "max/mean", "gini", "active frac"],
+        rows,
+        title=f"Fig. 8: per-task output at step {last_step} "
+              f"(case27: 1024^2, 64 ranks, 4 levels)",
+    )
+    # per-task vectors of the finest level, the figure's most volatile panel
+    finest = max(levels)
+    vec = per_task_series(result.trace, case.nprocs, level=finest)[last_step]
+    detail = "\nfinest-level per-task bytes: " + np.array2string(
+        vec, max_line_width=100
+    )
+    emit("fig08_per_task", table + detail)
+
+    # --- the paper's conclusions ----------------------------------------
+    # refined levels are visibly unbalanced
+    for lev in levels[1:]:
+        assert metrics[lev]["imbalance"] > 1.2, f"L{lev} unexpectedly balanced"
+    # refinement concentrates: finer levels show stronger concentration
+    # than the base level
+    assert metrics[finest]["gini"] > metrics[0]["gini"]
+    # N-to-N consequence: some ranks have no file at refined levels
+    # (file only exists if the task owns data there) OR all ranks active
+    # but unequal; either way the finest level is not uniform
+    assert metrics[finest]["gini"] > 0.05

@@ -1,0 +1,46 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the workload through ``benchmark`` (so ``--benchmark-only`` times the
+pipeline) and *emits* the rows/series the paper reports into
+``benchmarks/output/<name>.txt`` (also echoed to stdout when ``-s``).
+Assertions check the reproduced *shape* — who wins, rough factors,
+where crossovers fall — not Summit-absolute numbers.
+"""
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture
+def emit():
+    """emit(name, text): persist one figure/table artifact."""
+
+    def _emit(name: str, text: str) -> str:
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        path = os.path.join(OUTPUT_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"\n--- {name} ---")
+        print(text)
+        return path
+
+    return _emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The figure pipelines are seconds-long; one pedantic round keeps the
+    benchmark suite's total wall time sane while still recording timing.
+    """
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _once

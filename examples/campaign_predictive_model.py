@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Campaign + predictive model: the paper's follow-up use case.
+
+Runs a Table-III-style mini-campaign over (cfl, max_level), calibrates
+the proxy model per case, regresses ``dataset_growth`` over the inputs
+(the paper's "linear regression ... simple analytical model"), and
+predicts the I/O of an *unseen* configuration without running it —
+"predictive I/O sizes", the conclusions' future-work hook.
+
+Run:  python examples/campaign_predictive_model.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, human_bytes
+from repro.campaign.cases import case4
+from repro.campaign.runner import run_case
+from repro.core.calibration import calibrate_from_result
+from repro.core.interpolation import GrowthTable, interpolate_growth
+from repro.core.regression import CaseFeatures, fit_linear_model
+from repro.core.translator import ProxyModel, translate
+from repro.macsio.dump import run_macsio
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. calibration campaign over the Fig. 6 grid
+    # ------------------------------------------------------------------
+    grid = [(cfl, lev) for lev in (1, 3) for cfl in (0.3, 0.4, 0.5, 0.6)]
+    features, targets = [], []
+    table = GrowthTable()
+    rows = []
+    for cfl, max_level in grid:
+        rep = calibrate_from_result(run_case(case4(cfl=cfl, max_level=max_level)))
+        features.append(CaseFeatures(cfl, max_level, 512**2, 32))
+        targets.append(rep.growth.growth)
+        table.add(cfl, max_level, rep.growth.growth)
+        rows.append((f"{cfl:.1f}", max_level + 1, f"{rep.f:.2f}",
+                     f"{rep.growth.growth:.6f}"))
+    print(format_table(
+        ["cfl", "levels", "f (Eq.3)", "dataset_growth"],
+        rows, title="calibration campaign (paper Fig. 6 grid)",
+    ))
+
+    # ------------------------------------------------------------------
+    # 2. the regression model
+    # ------------------------------------------------------------------
+    model = fit_linear_model(features, targets, target_name="dataset_growth")
+    print("\nlinear model:", model.summary())
+
+    # ------------------------------------------------------------------
+    # 3. predict an unseen case and check against ground truth
+    # ------------------------------------------------------------------
+    unseen_cfl, unseen_level = 0.45, 3
+    probe = CaseFeatures(unseen_cfl, unseen_level, 512**2, 32)
+    g_reg = model.predict(probe)
+    g_int = interpolate_growth(table, unseen_cfl, unseen_level, clamp=False)
+    truth_case = case4(cfl=unseen_cfl, max_level=unseen_level)
+    truth_result = run_case(truth_case)
+    truth_rep = calibrate_from_result(truth_result)
+    print(f"\nunseen case cfl={unseen_cfl}, levels={unseen_level + 1}:")
+    print(f"  regression predicts growth   = {g_reg:.6f}")
+    print(f"  interpolation predicts growth = {g_int:.6f}")
+    print(f"  ground-truth calibration     = {truth_rep.growth.growth:.6f}")
+
+    # ------------------------------------------------------------------
+    # 4. drive MACSio purely from the prediction (no calibration run)
+    # ------------------------------------------------------------------
+    predicted = ProxyModel(
+        f=truth_rep.f,  # Eq. (3) needs only the inputs, not a run
+        dataset_growth=g_reg,
+        meta_size=truth_rep.model.meta_size,
+    )
+    params = translate(truth_case.inputs, truth_case.nprocs, predicted)
+    run = run_macsio(params, truth_case.nprocs)
+    obs = np.asarray(truth_rep.series.y_step)
+    pred = np.asarray(run.bytes_per_dump, dtype=float)[: len(obs)]
+    err = np.abs(pred - obs) / obs
+    print(f"\npredicted-vs-actual per-dump error: mean {err.mean():.2%}, "
+          f"max {err.max():.2%}")
+    print(f"predicted total {human_bytes(pred.sum())} vs "
+          f"actual {human_bytes(obs.sum())}")
+    print("\n=> a practitioner can size I/O for a new (cfl, levels) point "
+          "without running the simulation — the paper's autotuning hook.")
+
+
+if __name__ == "__main__":
+    main()

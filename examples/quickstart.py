@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's whole methodology in ~60 lines.
+
+1. Run an AMReX-Castro-style Sedov workload (the paper's pivot, case4).
+2. Collect the per-dump output sizes (Eqs. 1-2).
+3. Calibrate the proxy model: correction factor f (Eq. 3) and
+   dataset_growth (Fig. 9's single-parameter minimization).
+4. Translate to a MACSio command line (Listing 1) and run the proxy.
+5. Compare proxy vs simulation per-step outputs (Fig. 10).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.report import format_series, human_bytes
+from repro.campaign.cases import case4
+from repro.campaign.runner import run_case
+from repro.core.calibration import calibrate_from_result, verify_proxy
+from repro.core.translator import command_line
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. the AMReX-Castro side: 512^2 base mesh, 4 AMR levels,
+    #    cfl=0.4, 32 MPI tasks on 2 (simulated) Summit nodes.
+    # ------------------------------------------------------------------
+    case = case4()
+    print(f"running {case.name}: {case.inputs.n_cell[0]}^2 L0 mesh, "
+          f"max_level={case.inputs.max_level}, cfl={case.inputs.cfl}, "
+          f"{case.nprocs} tasks ({case.engine} engine)")
+    result = run_case(case)
+    total = result.trace.total_bytes()
+    print(f"  -> {result.n_outputs} plotfile dumps, "
+          f"{human_bytes(total)} total analysis output\n")
+
+    # ------------------------------------------------------------------
+    # 2-3. calibrate the model against the run
+    # ------------------------------------------------------------------
+    report = calibrate_from_result(result)
+    print("calibration (the paper's Eq. 3 + Fig. 9 loop):")
+    print(f"  correction factor f   = {report.f:.2f}   (paper: 23-25)")
+    print(f"  dataset_growth        = {report.growth.growth:.6f}"
+          f"   (paper: 1.0-1.02, case4 -> 1.013075)")
+    print(f"  minimization evals    = {report.growth.n_iterations}\n")
+
+    # ------------------------------------------------------------------
+    # 4. the Listing-1 command line this model implies
+    # ------------------------------------------------------------------
+    print("equivalent MACSio invocation (Listing 1):")
+    print(" ", command_line(case.inputs, case.nprocs, report.model), "\n")
+
+    # ------------------------------------------------------------------
+    # 5. run the proxy and compare (Fig. 10)
+    # ------------------------------------------------------------------
+    check = verify_proxy(report)
+    print("proxy vs simulation, per-dump bytes:")
+    n = len(check.observed_step_bytes)
+    print(format_series(
+        list(range(n)),
+        {"castro_sim": check.observed_step_bytes,
+         "macsio_proxy": check.macsio_step_bytes},
+        x_label="dump",
+        fmt="{:.4g}",
+    ))
+    print(f"\nmean relative error      = {check.mean_rel_error:.2%}")
+    print(f"final cumulative error   = {check.final_cumulative_rel_error:.2%}")
+    print(f"shape correlation        = {check.shape_corr:.3f}")
+
+
+if __name__ == "__main__":
+    main()

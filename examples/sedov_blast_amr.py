@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Run the real 2-D Sedov hydro solver with AMR and write real plotfiles.
+
+This is the small-scale *solver engine*: the actual compressible-Euler
+equations (HLLC + MUSCL), gradient-based regridding, and the AMReX
+plotfile writer producing genuine files on disk in the Fig.-2 layout.
+It validates that the analytic workload generator used at paper scale
+tracks real physics:
+
+- the shock radius is compared against the Sedov-Taylor law R ~ t^{1/2},
+- the refined levels follow the shock annulus,
+- a real on-disk plotfile tree is printed.
+
+Run:  python examples/sedov_blast_amr.py [outdir]
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.analysis.report import format_table, human_bytes
+from repro.hydro.sedov import SedovProblem, sedov_taylor_radius
+from repro.iosim.filesystem import RealFileSystem, format_tree
+from repro.sim.castro import CastroSim
+from repro.sim.diagnostics import radial_profile, shock_radius_estimate
+from repro.sim.inputs import CastroInputs
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="sedov_")
+    inputs = CastroInputs(
+        n_cell=(64, 64),
+        max_level=2,
+        max_step=24,
+        plot_int=8,
+        regrid_int=2,
+        cfl=0.5,
+        stop_time=1e9,
+        max_grid_size=32,
+        blocking_factor=8,
+    )
+    problem = SedovProblem(r_init=0.06)
+    fs = RealFileSystem(outdir)
+    sim = CastroSim(inputs, nprocs=4, problem=problem, fs=fs)
+    print(f"solving 2-D Sedov blast: {inputs.n_cell[0]}^2 base mesh, "
+          f"{inputs.nlevels} levels, writing to {outdir}\n")
+    result = sim.run()
+
+    # ------------------------------------------------------------------
+    # physics validation: shock radius vs the self-similar law
+    # ------------------------------------------------------------------
+    g = sim._g
+    U = sim._U[:, g:-g, g:-g]
+    r_measured = shock_radius_estimate(U, sim._fine_geom, center=problem.center)
+    r_analytic = problem.shock_radius(result.final_time)
+    print("shock front check (drives the workload model at paper scale):")
+    print(f"  t = {result.final_time:.4e}")
+    print(f"  measured radius   = {r_measured:.4f}")
+    print(f"  Sedov-Taylor R(t) = {r_analytic:.4f}")
+    print(f"  ratio             = {r_measured / max(r_analytic, 1e-12):.3f}\n")
+
+    # ------------------------------------------------------------------
+    # mesh evolution: refined levels follow the shock
+    # ------------------------------------------------------------------
+    rows = []
+    for ev in result.outputs:
+        rows.append((
+            ev.step,
+            f"{ev.time:.3e}",
+            " / ".join(str(c) for c in ev.cells_per_level),
+            " / ".join(str(gr) for gr in ev.grids_per_level),
+        ))
+    print(format_table(
+        ["step", "time", "cells per level", "grids per level"],
+        rows, title="AMR hierarchy at each dump (Fig. 4a behaviour)",
+    ))
+
+    # ------------------------------------------------------------------
+    # conservation + radial structure
+    # ------------------------------------------------------------------
+    masses = np.asarray(result.mass_history)
+    print(f"\nmass drift over run: {abs(masses[-1] - masses[0]) / masses[0]:.2e}")
+    centers, prof = radial_profile(U[0], sim._fine_geom, nbins=16, center=problem.center)
+    peak = centers[int(np.argmax(prof))]
+    print(f"density peak at r = {peak:.3f} (shock shell, not the center)\n")
+
+    # ------------------------------------------------------------------
+    # the actual on-disk plotfile tree (Fig. 2)
+    # ------------------------------------------------------------------
+    first = f"{inputs.plot_file}00000"
+    print(f"on-disk layout of {first} (paper Fig. 2):")
+    print(format_tree(fs, first, max_entries=40))
+    print(f"\ntotal bytes written: {human_bytes(fs.total_size())} "
+          f"across {fs.file_count()} files")
+
+
+if __name__ == "__main__":
+    main()

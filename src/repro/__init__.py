@@ -1,0 +1,40 @@
+"""repro — reproduction of "Modeling pre-Exascale AMR Parallel I/O
+Workloads via Proxy Applications" (Godoy, Delozier, Watson; IPDPSW 2022).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: Eq. (1)-(3) variables, ``dataset_growth``
+    calibration, the AMReX->MACSio translator, regression/interpolation.
+``repro.amr`` / ``repro.hydro`` / ``repro.sim``
+    The AMReX/Castro substrate: block-structured AMR, the 2-D Sedov
+    compressible solver, and the simulation driver.
+``repro.workload``
+    Analytic Sedov workload generation for paper-scale meshes.
+``repro.plotfile`` / ``repro.macsio``
+    The two I/O producers: Castro plotfiles (Fig. 2 layout) and the
+    MACSio proxy (Fig. 3 layout).
+``repro.parallel`` / ``repro.iosim``
+    Simulated MPI and the storage/trace substrate (Summit-like model).
+``repro.campaign`` / ``repro.analysis``
+    The 47-run study machinery and the figure/table analysis layer.
+"""
+
+__version__ = "1.0.0"
+
+from . import amr, analysis, campaign, core, hydro, iosim, macsio, parallel, plotfile, sim, workload
+
+__all__ = [
+    "amr",
+    "analysis",
+    "campaign",
+    "core",
+    "hydro",
+    "iosim",
+    "macsio",
+    "parallel",
+    "plotfile",
+    "sim",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,109 @@
+"""Physical-space geometry of an AMR level (AMReX ``Geometry`` analogue).
+
+Maps the cell-index space of a level onto physical coordinates, given the
+problem domain ``[prob_lo, prob_hi]`` and the level's index domain.  The
+Sedov case in the paper uses ``prob_lo = (0, 0)``, ``prob_hi = (1, 1)``,
+Cartesian coordinates (``geometry.coord_sys = 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from .box import Box
+
+__all__ = ["Geometry", "CoordSys"]
+
+
+class CoordSys:
+    """Coordinate-system identifiers matching AMReX integer codes."""
+
+    CARTESIAN = 0
+    CYLINDRICAL_RZ = 1
+    SPHERICAL = 2
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Physical geometry of a level.
+
+    Parameters
+    ----------
+    domain:
+        The index-space box of this level.
+    prob_lo / prob_hi:
+        Physical bounds of the problem domain.
+    coord_sys:
+        One of :class:`CoordSys` codes; only metadata here (the Sedov
+        "cyl_in_cartcoords" case runs in Cartesian coordinates).
+    periodic:
+        Periodicity flags per dimension (the Sedov case is non-periodic).
+    """
+
+    domain: Box
+    prob_lo: Tuple[float, float] = (0.0, 0.0)
+    prob_hi: Tuple[float, float] = (1.0, 1.0)
+    coord_sys: int = CoordSys.CARTESIAN
+    periodic: Tuple[bool, bool] = (False, False)
+
+    @property
+    def cell_size(self) -> Tuple[float, float]:
+        """Physical cell sizes ``(dx, dy)``."""
+        nx, ny = self.domain.shape
+        return (
+            (self.prob_hi[0] - self.prob_lo[0]) / nx,
+            (self.prob_hi[1] - self.prob_lo[1]) / ny,
+        )
+
+    @property
+    def dx(self) -> float:
+        return self.cell_size[0]
+
+    @property
+    def dy(self) -> float:
+        return self.cell_size[1]
+
+    def refine(self, ratio: int) -> "Geometry":
+        """Geometry of the next finer level (same physical bounds)."""
+        return Geometry(
+            domain=self.domain.refine(ratio),
+            prob_lo=self.prob_lo,
+            prob_hi=self.prob_hi,
+            coord_sys=self.coord_sys,
+            periodic=self.periodic,
+        )
+
+    def cell_centers(self, box: Box) -> Tuple[np.ndarray, np.ndarray]:
+        """Meshgrid arrays ``(X, Y)`` of cell-center coordinates of ``box``."""
+        dx, dy = self.cell_size
+        xs = self.prob_lo[0] + (np.arange(box.lo[0], box.hi[0] + 1) + 0.5) * dx
+        ys = self.prob_lo[1] + (np.arange(box.lo[1], box.hi[1] + 1) + 0.5) * dy
+        return np.meshgrid(xs, ys, indexing="ij")
+
+    def cell_center(self, idx: Tuple[int, int]) -> Tuple[float, float]:
+        dx, dy = self.cell_size
+        return (
+            self.prob_lo[0] + (idx[0] + 0.5) * dx,
+            self.prob_lo[1] + (idx[1] + 0.5) * dy,
+        )
+
+    def cell_volume(self) -> float:
+        """Cell volume (area in 2-D) — Cartesian only."""
+        dx, dy = self.cell_size
+        return dx * dy
+
+    def physical_box(self, box: Box) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """Physical ``(lo, hi)`` corners of an index box."""
+        dx, dy = self.cell_size
+        lo = (
+            self.prob_lo[0] + box.lo[0] * dx,
+            self.prob_lo[1] + box.lo[1] * dy,
+        )
+        hi = (
+            self.prob_lo[0] + (box.hi[0] + 1) * dx,
+            self.prob_lo[1] + (box.hi[1] + 1) * dy,
+        )
+        return lo, hi

@@ -1,0 +1,187 @@
+"""Grid generation: blocking-factor alignment and max-grid-size chopping.
+
+AMReX turns clustered boxes into the final ``BoxArray`` of a level by
+
+1. coarsening/refining each box so it aligns to ``amr.blocking_factor``
+   (every grid edge is a multiple of the blocking factor), and
+2. chopping any box larger than ``amr.max_grid_size`` into pieces.
+
+The Sedov configuration in the paper uses ``blocking_factor = 8`` and
+``max_grid_size = 256`` — these two knobs control how many ``Cell_D``
+files each level produces, so they matter directly for the I/O model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .box import Box
+from .boxarray import BoxArray
+
+__all__ = [
+    "GridParams",
+    "align_to_blocking_factor",
+    "chop_to_max_size",
+    "clip_boxarray",
+    "make_level_grids",
+]
+
+
+@dataclass(frozen=True)
+class GridParams:
+    """Grid-generation knobs (AMReX ``amr.*`` parameters)."""
+
+    blocking_factor: int = 8
+    max_grid_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.blocking_factor < 1:
+            raise ValueError("blocking_factor must be >= 1")
+        if self.max_grid_size < self.blocking_factor:
+            raise ValueError(
+                f"max_grid_size ({self.max_grid_size}) must be >= "
+                f"blocking_factor ({self.blocking_factor})"
+            )
+        if self.max_grid_size % self.blocking_factor != 0:
+            raise ValueError("max_grid_size must be a multiple of blocking_factor")
+
+
+def align_to_blocking_factor(box: Box, blocking_factor: int, domain: Box) -> Box:
+    """Grow ``box`` outward to blocking-factor boundaries, clipped to domain.
+
+    The domain itself must be blocking-factor aligned (AMReX enforces
+    this on ``amr.n_cell``); the clipped result then stays aligned.
+    """
+    bf = blocking_factor
+    lo = (box.lo[0] // bf * bf, box.lo[1] // bf * bf)
+    hi = (
+        (box.hi[0] // bf + 1) * bf - 1,
+        (box.hi[1] // bf + 1) * bf - 1,
+    )
+    grown = Box(lo, hi)
+    clipped = grown.intersection(domain)
+    if clipped is None:
+        raise ValueError(f"box {box} aligned to {bf} falls outside domain {domain}")
+    return clipped
+
+
+def chop_to_max_size(box: Box, max_grid_size: int) -> List[Box]:
+    """Recursively split ``box`` so no side exceeds ``max_grid_size``.
+
+    Splits are placed at multiples of ``max_grid_size`` relative to the
+    box's lower corner, matching AMReX ``BoxArray::maxSize`` behaviour of
+    producing near-equal chunks.
+    """
+    out: List[Box] = []
+    stack = [box]
+    while stack:
+        b = stack.pop()
+        nx, ny = b.shape
+        if nx <= max_grid_size and ny <= max_grid_size:
+            out.append(b)
+            continue
+        axis = 0 if nx >= ny else 1
+        n = b.shape[axis]
+        nchunks = -(-n // max_grid_size)  # ceil division
+        # Split near the middle at a chunk boundary for balance.
+        chunk = -(-n // nchunks)
+        at = b.lo[axis] + chunk * (nchunks // 2)
+        if at <= b.lo[axis] or at > b.hi[axis]:
+            at = b.lo[axis] + n // 2
+        left, right = b.chop(axis, at)
+        stack.append(left)
+        stack.append(right)
+    out.sort()
+    return out
+
+
+def _dedupe_overlaps(boxes: List[Box]) -> List[Box]:
+    """Make a list of possibly-overlapping boxes disjoint.
+
+    Later boxes are clipped against earlier ones.  Blocking-factor
+    alignment can create overlaps between neighbouring clustered boxes;
+    AMReX resolves these the same way (``removeOverlap``).
+    """
+    result: List[Box] = []
+    for b in boxes:
+        pieces = [b]
+        for existing in result:
+            nxt: List[Box] = []
+            for piece in pieces:
+                nxt.extend(piece.difference(existing))
+            pieces = nxt
+            if not pieces:
+                break
+        result.extend(pieces)
+    return result
+
+
+def clip_boxarray(ba: BoxArray, allowed: BoxArray, max_grid_size: int) -> BoxArray:
+    """Intersect every box of ``ba`` with the union of ``allowed``.
+
+    Used to enforce proper nesting: a fine level's grids may not extend
+    past the refined image of its parent's coverage.  ``allowed`` must be
+    disjoint; results are re-chopped to ``max_grid_size``.
+    """
+    out: List[Box] = []
+    for b in ba:
+        for _, inter in allowed.intersections(b):
+            out.extend(chop_to_max_size(inter, max_grid_size))
+    out.sort()
+    return BoxArray(out)
+
+
+def refine_grid_layout(boxes: List[Box], min_grids: int, blocking_factor: int) -> List[Box]:
+    """Chop grids until there are at least ``min_grids`` of them.
+
+    Mirrors AMReX's ``refine_grid_layout`` (on by default): when a level
+    has fewer grids than MPI ranks, the largest grids are split in half
+    (respecting the blocking factor) so every rank gets work — this is
+    why real Castro runs show all tasks producing L0 data in Fig. 8.
+    """
+    out = list(boxes)
+    while len(out) < min_grids:
+        # Split the largest splittable box in half along its long axis.
+        order = sorted(range(len(out)), key=lambda k: out[k].numpts, reverse=True)
+        for k in order:
+            b = out[k]
+            axis = 0 if b.shape[0] >= b.shape[1] else 1
+            n = b.shape[axis]
+            half = (n // 2 // blocking_factor) * blocking_factor
+            if half < blocking_factor or n - half < blocking_factor:
+                continue
+            left, right = b.chop(axis, b.lo[axis] + half)
+            out[k] = left
+            out.append(right)
+            break
+        else:
+            break  # nothing splittable remains
+    out.sort()
+    return out
+
+
+def make_level_grids(
+    clustered: Iterable[Box],
+    domain: Box,
+    params: GridParams = GridParams(),
+    min_grids: int = 0,
+) -> BoxArray:
+    """Produce the final level ``BoxArray`` from clustered boxes.
+
+    Applies blocking-factor alignment, de-overlapping, max-grid-size
+    chopping, and (when ``min_grids`` > 0) AMReX's refine-grid-layout
+    splitting, in AMReX order.
+    """
+    aligned = [
+        align_to_blocking_factor(b, params.blocking_factor, domain) for b in clustered
+    ]
+    disjoint = _dedupe_overlaps(aligned)
+    final: List[Box] = []
+    for b in disjoint:
+        final.extend(chop_to_max_size(b, params.max_grid_size))
+    if min_grids > 0:
+        final = refine_grid_layout(final, min_grids, params.blocking_factor)
+    final.sort()
+    ba = BoxArray(final)
+    return ba

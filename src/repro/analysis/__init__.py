@@ -1,0 +1,29 @@
+"""Analysis layer: load balance, comparisons, report formatting."""
+
+from .burstiness import BurstinessStats, analyze_schedule, duty_cycle, interarrival_cv
+from .compare import ComparisonRow, classify_linearity, compare_record_to_macsio
+from .loadbalance import (
+    active_fraction,
+    gini_coefficient,
+    imbalance_factor,
+    imbalance_report,
+)
+from .report import format_comparison, format_series, format_table, human_bytes
+
+__all__ = [
+    "BurstinessStats",
+    "analyze_schedule",
+    "duty_cycle",
+    "interarrival_cv",
+    "ComparisonRow",
+    "classify_linearity",
+    "compare_record_to_macsio",
+    "active_fraction",
+    "gini_coefficient",
+    "imbalance_factor",
+    "imbalance_report",
+    "format_comparison",
+    "format_series",
+    "format_table",
+    "human_bytes",
+]

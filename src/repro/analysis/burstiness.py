@@ -1,0 +1,76 @@
+"""Burstiness statistics for I/O timelines.
+
+Miller & Katz (paper refs. [14]-[15]) characterized supercomputer I/O as
+"bursty": CPU phases punctuated by intense I/O.  The paper positions
+MACSio's ``compute_time`` as the knob for reproducing that temporal
+structure.  These metrics quantify a :class:`~repro.iosim.burst.
+BurstSchedule` so burstiness itself becomes a comparable quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..iosim.burst import BurstSchedule
+
+__all__ = ["BurstinessStats", "analyze_schedule", "duty_cycle", "interarrival_cv"]
+
+
+def duty_cycle(schedule: BurstSchedule) -> float:
+    """Fraction of wall time spent writing (I/O duty cycle)."""
+    return schedule.io_fraction()
+
+
+def interarrival_cv(schedule: BurstSchedule) -> float:
+    """Coefficient of variation of the burst inter-arrival times.
+
+    CV ~ 0: metronomic (fixed compute_time + stable storage);
+    CV grows with storage variability and load imbalance.
+    """
+    starts = np.array([e.t_io_start for e in schedule.events])
+    if len(starts) < 3:
+        return 0.0
+    gaps = np.diff(starts)
+    mean = gaps.mean()
+    if mean == 0:
+        return 0.0
+    return float(gaps.std() / mean)
+
+
+@dataclass(frozen=True)
+class BurstinessStats:
+    """Summary of a burst timeline."""
+
+    n_bursts: int
+    wall_seconds: float
+    io_seconds: float
+    compute_seconds: float
+    duty_cycle: float
+    mean_burst_seconds: float
+    max_burst_seconds: float
+    interarrival_cv: float
+
+    def is_io_bound(self, threshold: float = 0.5) -> bool:
+        """True when I/O consumes more than ``threshold`` of wall time —
+        the condition the paper's co-design studies hunt for."""
+        return self.duty_cycle > threshold
+
+
+def analyze_schedule(schedule: BurstSchedule) -> BurstinessStats:
+    """Compute all burstiness metrics for a timeline."""
+    if not schedule.events:
+        raise ValueError("empty burst schedule")
+    io_times = np.array([e.io_seconds for e in schedule.events])
+    return BurstinessStats(
+        n_bursts=len(schedule.events),
+        wall_seconds=schedule.total_seconds,
+        io_seconds=schedule.io_seconds,
+        compute_seconds=schedule.compute_seconds,
+        duty_cycle=duty_cycle(schedule),
+        mean_burst_seconds=float(io_times.mean()),
+        max_burst_seconds=float(io_times.max()),
+        interarrival_cv=interarrival_cv(schedule),
+    )

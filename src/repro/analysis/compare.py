@@ -1,0 +1,72 @@
+"""AMReX-vs-MACSio comparison helpers (Figs. 10 & 11 machinery)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..campaign.records import RunRecord
+from ..core.calibration import CalibrationReport
+from ..core.errors import (
+    final_cumulative_error,
+    mean_relative_error,
+    shape_correlation,
+)
+from ..macsio.dump import run_macsio
+from ..macsio.params import MacsioParams
+
+__all__ = ["ComparisonRow", "compare_record_to_macsio", "classify_linearity"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One curve pair: simulation vs proxy, with summary metrics."""
+
+    name: str
+    sim_step_bytes: Tuple[float, ...]
+    proxy_step_bytes: Tuple[float, ...]
+    mean_rel_error: float
+    final_cum_error: float
+    shape_corr: float
+
+
+def compare_record_to_macsio(
+    record: RunRecord, params: MacsioParams, nprocs: Optional[int] = None
+) -> ComparisonRow:
+    """Run MACSio with ``params`` and compare against a recorded run."""
+    nprocs = nprocs or record.nprocs
+    run = run_macsio(params, nprocs)
+    proxy = np.asarray(run.bytes_per_dump, dtype=np.float64)
+    sim = np.asarray(record.step_bytes, dtype=np.float64)
+    n = min(len(proxy), len(sim))
+    proxy, sim = proxy[:n], sim[:n]
+    return ComparisonRow(
+        name=record.name,
+        sim_step_bytes=tuple(sim),
+        proxy_step_bytes=tuple(proxy),
+        mean_rel_error=mean_relative_error(proxy, sim),
+        final_cum_error=final_cumulative_error(proxy, sim),
+        shape_corr=shape_correlation(proxy, sim),
+    )
+
+
+def classify_linearity(x: Sequence[float], y: Sequence[float], tol: float = 0.02) -> str:
+    """Label a cumulative curve "linear" or "non-linear".
+
+    Fits y ~ a*x and examines the relative residual; the Fig. 5
+    discussion separates near-linear runs from runs that "deviate from
+    this linear behavior".
+    """
+    xv = np.asarray(x, dtype=np.float64)
+    yv = np.asarray(y, dtype=np.float64)
+    if xv.shape != yv.shape or xv.size < 3:
+        raise ValueError("need >= 3 paired points")
+    denom = float(xv @ xv)
+    if denom == 0:
+        raise ValueError("degenerate x values")
+    a = float(xv @ yv) / denom
+    resid = yv - a * xv
+    rel = float(np.sqrt(np.mean(resid**2))) / float(np.mean(np.abs(yv)))
+    return "linear" if rel <= tol else "non-linear"

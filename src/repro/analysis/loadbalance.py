@@ -1,0 +1,65 @@
+"""Load-balance metrics for per-task output (the Fig. 8 analysis).
+
+The paper observes that "AMR effects result in unbalanced loads at all 4
+levels of the resulting mesh hierarchy" and concludes MACSio can model
+per-level but not per-rank loads.  These metrics quantify that
+imbalance so benches can assert it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["imbalance_factor", "gini_coefficient", "active_fraction", "imbalance_report"]
+
+
+def imbalance_factor(loads: Sequence[float]) -> float:
+    """max / mean over ranks with the convention 1.0 = perfectly balanced.
+
+    Computed over all ranks (zeros included) — a rank with no file at a
+    level is real imbalance in the N-to-N pattern.
+    """
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty load vector")
+    mean = arr.mean()
+    if mean == 0:
+        return 1.0
+    return float(arr.max() / mean)
+
+
+def gini_coefficient(loads: Sequence[float]) -> float:
+    """Gini index of the load distribution (0 = equal, ->1 = concentrated)."""
+    arr = np.sort(np.asarray(loads, dtype=np.float64))
+    n = arr.size
+    if n == 0:
+        raise ValueError("empty load vector")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    cum = np.cumsum(arr)
+    # Standard formula: G = (n + 1 - 2 * sum(cum) / total) / n
+    return float((n + 1 - 2 * (cum.sum() / total)) / n)
+
+
+def active_fraction(loads: Sequence[float]) -> float:
+    """Fraction of ranks that wrote anything (files exist only when a
+    task owns data at a level)."""
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty load vector")
+    return float(np.count_nonzero(arr) / arr.size)
+
+
+def imbalance_report(per_level_loads: Dict[int, Sequence[float]]) -> Dict[int, Dict[str, float]]:
+    """Per-level {imbalance, gini, active_fraction} table."""
+    out: Dict[int, Dict[str, float]] = {}
+    for lev, loads in sorted(per_level_loads.items()):
+        out[lev] = {
+            "imbalance": imbalance_factor(loads),
+            "gini": gini_coefficient(loads),
+            "active_fraction": active_fraction(loads),
+        }
+    return out

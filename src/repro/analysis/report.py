@@ -1,0 +1,87 @@
+"""Text rendering of the paper's tables and figure data.
+
+Every benchmark prints through these helpers so the regenerated rows
+and series have a consistent, diffable format in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_comparison", "human_bytes"]
+
+
+def human_bytes(n: float) -> str:
+    """1536 -> '1.50 KiB' etc.; scientific beyond TiB."""
+    step = 1024.0
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    v = float(n)
+    for unit in units:
+        if abs(v) < step or unit == units[-1]:
+            if unit == "B":
+                return f"{v:.0f} {unit}"
+            return f"{v:.2f} {unit}"
+        v /= step
+    return f"{n:.3e} B"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Fixed-width ASCII table."""
+    cols = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in rows:
+        lines.append(" | ".join(str(v).ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float],
+    ys: Dict[str, Sequence[float]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+    fmt: str = "{:.6g}",
+) -> str:
+    """Columnar series dump: x then one column per named y."""
+    names = list(ys)
+    headers = [x_label] + names
+    rows: List[List[str]] = []
+    n = len(x)
+    for name in names:
+        if len(ys[name]) != n:
+            raise ValueError(f"series {name!r} length mismatch")
+    for i in range(n):
+        row = [fmt.format(float(x[i]))]
+        row += [fmt.format(float(ys[name][i])) for name in names]
+        rows.append(row)
+    return format_table(headers, rows, title)
+
+
+def format_comparison(
+    name: str,
+    sim: Sequence[float],
+    proxy: Sequence[float],
+    metrics: Dict[str, float],
+) -> str:
+    """Fig.-10-style pairing of simulated vs proxy series."""
+    lines = [f"== {name} =="]
+    lines.append(
+        format_series(
+            list(range(len(sim))),
+            {"sim_bytes": sim, "macsio_bytes": proxy},
+            x_label="dump",
+        )
+    )
+    lines.append(
+        "metrics: " + ", ".join(f"{k}={v:.4g}" for k, v in metrics.items())
+    )
+    return "\n".join(lines)

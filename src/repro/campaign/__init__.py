@@ -1,0 +1,34 @@
+"""Parameterized-run campaign: cases, Table-III sweep, runner, records."""
+
+from .cases import (
+    CASE_REGISTRY,
+    Case,
+    case4,
+    case4_variants,
+    case27,
+    large_case,
+    small_solver_case,
+)
+from .records import RunRecord, load_records, record_from_result, save_records
+from .runner import CampaignResult, run_campaign, run_case
+from .sweep import TABLE_III_RANGES, paper_sweep, sweep_cases
+
+__all__ = [
+    "CASE_REGISTRY",
+    "Case",
+    "case4",
+    "case4_variants",
+    "case27",
+    "large_case",
+    "small_solver_case",
+    "RunRecord",
+    "load_records",
+    "record_from_result",
+    "save_records",
+    "CampaignResult",
+    "run_campaign",
+    "run_case",
+    "TABLE_III_RANGES",
+    "paper_sweep",
+    "sweep_cases",
+]

@@ -1,0 +1,156 @@
+"""Case registry: the named configurations the paper analyzes.
+
+The paper performed 47 Summit runs over the Table-III ranges and singles
+out three: **case4** (the pivot: 512^2 L0, 32 tasks on 2 nodes, 20
+outputs — Figs. 6, 7, 9, 10), **case27** (1024^2 L0, 64 ranks, 4 levels,
+5 outputs — Fig. 8), and the **large case** (8192^2 L0 on 64 nodes —
+Fig. 11).  Variants of case4 over cfl x max_level drive Figs. 6 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..sim.inputs import CastroInputs
+
+__all__ = ["Case", "CASE_REGISTRY", "case4", "case27", "large_case", "case4_variants"]
+
+
+@dataclass(frozen=True)
+class Case:
+    """One campaign configuration: inputs + job shape + engine choice."""
+
+    name: str
+    inputs: CastroInputs
+    nprocs: int
+    nnodes: int
+    engine: str = "workload"  # "solver" (PDE) or "workload" (analytic)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("solver", "workload"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.nprocs < 1 or self.nnodes < 1:
+            raise ValueError("nprocs/nnodes must be >= 1")
+
+    def with_cfl(self, cfl: float) -> "Case":
+        return replace(
+            self,
+            name=f"{self.name}_cfl{int(round(cfl * 10))}",
+            inputs=replace(self.inputs, cfl=cfl),
+        )
+
+    def with_max_level(self, max_level: int) -> "Case":
+        return replace(
+            self,
+            name=f"{self.name}_maxl{max_level + 1}",
+            inputs=replace(self.inputs, max_level=max_level),
+        )
+
+
+def case4(cfl: float = 0.4, max_level: int = 3) -> Case:
+    """The pivot: 512^2 L0, 32 tasks / 2 Summit nodes, 20 outputs.
+
+    The paper counts "4 levels" as max_level=3 (L0..L3) and "2 levels"
+    as max_level=1.
+    """
+    return Case(
+        name="case4",
+        inputs=CastroInputs(
+            n_cell=(512, 512),
+            max_level=max_level,
+            max_step=200,
+            plot_int=10,
+            cfl=cfl,
+            stop_time=1e9,
+            max_grid_size=256,
+            blocking_factor=8,
+        ),
+        nprocs=32,
+        nnodes=2,
+        engine="workload",
+    )
+
+
+def case27() -> Case:
+    """Fig. 8's case: 1024^2 L0, 64 ranks, 4 mesh levels, 5 output steps."""
+    return Case(
+        name="case27",
+        inputs=CastroInputs(
+            n_cell=(1024, 1024),
+            max_level=3,
+            max_step=100,
+            plot_int=20,
+            cfl=0.5,
+            stop_time=1e9,
+            max_grid_size=256,
+            blocking_factor=8,
+        ),
+        nprocs=64,
+        nnodes=4,
+        engine="workload",
+    )
+
+
+def large_case() -> Case:
+    """Fig. 11's case: 8192^2 L0 mesh on 64 Summit nodes."""
+    return Case(
+        name="large",
+        inputs=CastroInputs(
+            n_cell=(8192, 8192),
+            max_level=2,
+            max_step=500,
+            plot_int=10,
+            cfl=0.5,
+            stop_time=1e9,
+            max_grid_size=256,
+            blocking_factor=8,
+        ),
+        nprocs=128,
+        nnodes=64,
+        engine="workload",
+    )
+
+
+def small_solver_case(n: int = 64, max_level: int = 2) -> Case:
+    """A PDE-solver-engine case for validation (laptop scale)."""
+    return Case(
+        name=f"solver{n}",
+        inputs=CastroInputs(
+            n_cell=(n, n),
+            max_level=max_level,
+            max_step=20,
+            plot_int=5,
+            cfl=0.5,
+            stop_time=1e9,
+            max_grid_size=64,
+            blocking_factor=8,
+        ),
+        nprocs=4,
+        nnodes=1,
+        engine="solver",
+    )
+
+
+def case4_variants() -> List[Case]:
+    """The cfl {0.3, 0.4, 0.5, 0.6} x levels {2, 4} grid of Figs. 6/10."""
+    out: List[Case] = []
+    for max_level in (1, 3):  # "2 levels" and "4 levels"
+        for cfl in (0.3, 0.4, 0.5, 0.6):
+            base = case4(cfl=cfl, max_level=max_level)
+            out.append(
+                replace(base, name=f"case4_cfl{int(cfl * 10)}_maxl{max_level + 1}")
+            )
+    return out
+
+
+CASE_REGISTRY: Dict[str, Case] = {
+    "case4": case4(),
+    "case27": case27(),
+    "large": large_case(),
+    "solver64": small_solver_case(),
+}
+for _c in case4_variants():
+    CASE_REGISTRY[_c.name] = _c
+
+__all__.append("small_solver_case")

@@ -1,0 +1,103 @@
+"""Campaign result records and JSON persistence.
+
+A :class:`RunRecord` is the durable artifact of one case execution —
+the per (step, level, task) sizes plus the Eq.-1/2 series — small
+enough to store for all 47 cases and sufficient to regenerate every
+figure without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.variables import build_series
+from ..sim.castro import SimResult
+
+__all__ = ["RunRecord", "record_from_result", "save_records", "load_records"]
+
+
+@dataclass
+class RunRecord:
+    """Serializable summary of one campaign run."""
+
+    name: str
+    n_cell: Tuple[int, int]
+    max_level: int
+    max_step: int
+    plot_int: int
+    cfl: float
+    nprocs: int
+    nnodes: int
+    engine: str
+    steps: List[int]
+    times: List[float]
+    step_bytes: List[int]  # total bytes per dump
+    level_bytes: Dict[str, List[int]]  # level -> per-dump bytes
+    task_bytes_last: List[int]  # per-task bytes of the final dump
+    cells_per_level_last: List[int]
+    final_time: float
+
+    @property
+    def ncells_l0(self) -> int:
+        return self.n_cell[0] * self.n_cell[1]
+
+    def x_series(self) -> np.ndarray:
+        """Eq. (1): cumulative output cells."""
+        return (np.arange(len(self.steps)) + 1.0) * self.ncells_l0
+
+    def cumulative_bytes(self) -> np.ndarray:
+        return np.cumsum(np.asarray(self.step_bytes, dtype=np.float64))
+
+
+def record_from_result(name: str, result: SimResult, nnodes: int, engine: str) -> RunRecord:
+    """Distill a SimResult into a RunRecord."""
+    inp = result.inputs
+    series = build_series(result.trace, inp.ncells_l0)
+    per_level: Dict[str, List[int]] = {}
+    steps = [int(s) for s in series.steps]
+    for lev in result.trace.levels():
+        table = {}
+        for r in result.trace:
+            if r.level == lev and r.kind == "data":
+                table[r.step] = table.get(r.step, 0) + r.nbytes
+        per_level[str(lev)] = [int(table.get(s, 0)) for s in steps]
+    last_step = steps[-1]
+    task_vec = result.trace.bytes_per_rank(step=last_step, nprocs=result.nprocs)
+    return RunRecord(
+        name=name,
+        n_cell=tuple(inp.n_cell),
+        max_level=inp.max_level,
+        max_step=inp.max_step,
+        plot_int=inp.plot_int,
+        cfl=inp.cfl,
+        nprocs=result.nprocs,
+        nnodes=nnodes,
+        engine=engine,
+        steps=steps,
+        times=[float(ev.time) for ev in result.outputs],
+        step_bytes=[int(v) for v in series.y_step],
+        level_bytes=per_level,
+        task_bytes_last=[int(v) for v in task_vec],
+        cells_per_level_last=list(result.outputs[-1].cells_per_level),
+        final_time=float(result.final_time),
+    )
+
+
+def save_records(records: List[RunRecord], path: str) -> None:
+    payload = [asdict(r) for r in records]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def load_records(path: str) -> List[RunRecord]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    out: List[RunRecord] = []
+    for item in payload:
+        item["n_cell"] = tuple(item["n_cell"])
+        out.append(RunRecord(**item))
+    return out

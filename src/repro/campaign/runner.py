@@ -1,0 +1,85 @@
+"""Campaign runner: execute cases on the right engine and collect records.
+
+``engine="solver"`` runs the real PDE (:class:`~repro.sim.castro.CastroSim`);
+``engine="workload"`` runs the analytic generator
+(:class:`~repro.workload.generator.SedovWorkloadGenerator`).  Both yield
+the same :class:`~repro.sim.castro.SimResult` shape, so collection and
+modeling are engine-agnostic — the point of the substrate design.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..hydro.sedov import SedovProblem
+from ..iosim.filesystem import FileSystem, VirtualFileSystem
+from ..sim.castro import CastroSim, SimResult
+from ..workload.annulus import AnnulusCoefficients
+from ..workload.generator import SedovWorkloadGenerator
+from .cases import Case
+from .records import RunRecord, record_from_result
+
+__all__ = ["run_case", "run_campaign", "CampaignResult"]
+
+
+def run_case(
+    case: Case,
+    fs: Optional[FileSystem] = None,
+    problem: Optional[SedovProblem] = None,
+    coefficients: AnnulusCoefficients = AnnulusCoefficients(),
+    distribution_strategy: str = "sfc",
+) -> SimResult:
+    """Execute one case on its configured engine."""
+    fs = fs if fs is not None else VirtualFileSystem()
+    problem = problem or SedovProblem()
+    if case.engine == "solver":
+        sim = CastroSim(
+            case.inputs,
+            nprocs=case.nprocs,
+            problem=problem,
+            fs=fs,
+            distribution_strategy=distribution_strategy,
+            nnodes=case.nnodes,
+        )
+        return sim.run()
+    gen = SedovWorkloadGenerator(
+        case.inputs,
+        nprocs=case.nprocs,
+        problem=problem,
+        fs=fs,
+        coefficients=coefficients,
+        distribution_strategy=distribution_strategy,
+        nnodes=case.nnodes,
+    )
+    return gen.run()
+
+
+@dataclass
+class CampaignResult:
+    """All records of a campaign plus wall-clock bookkeeping."""
+
+    records: List[RunRecord] = field(default_factory=list)
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def by_name(self) -> Dict[str, RunRecord]:
+        return {r.name: r for r in self.records}
+
+
+def run_campaign(
+    cases: List[Case],
+    progress: Optional[Callable[[str, float], None]] = None,
+    **kwargs,
+) -> CampaignResult:
+    """Run a list of cases; per-case kwargs forward to :func:`run_case`."""
+    out = CampaignResult()
+    for case in cases:
+        t0 = time.perf_counter()
+        result = run_case(case, **kwargs)
+        dt = time.perf_counter() - t0
+        out.records.append(record_from_result(case.name, result, case.nnodes, case.engine))
+        out.seconds[case.name] = dt
+        if progress is not None:
+            progress(case.name, dt)
+    return out

@@ -1,0 +1,108 @@
+"""The Table-III parameter sweep (the 47-run campaign envelope).
+
+    amr.max_step     40 - 1000
+    amr.n_cell       (32 x 32) - (131072 x 131072)
+    amr.max_level    2 - 4 (1 to 3 refined levels)
+    amr.plot_int     1 - 20
+    castro.cfl       0.3 - 0.6
+    nprocs           1 - 1024
+    Summit nodes     1 - 512
+
+:func:`paper_sweep` emits a 47-case sample spanning those ranges, with
+nprocs scaled to the mesh as the paper did (small meshes on one rank,
+the 131072^2 / 17B-cell mesh on 1024 ranks over 512 nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..sim.inputs import CastroInputs
+from .cases import Case
+
+__all__ = ["TABLE_III_RANGES", "paper_sweep", "sweep_cases"]
+
+TABLE_III_RANGES: Dict[str, Tuple] = {
+    "amr.max_step": (40, 1000),
+    "amr.n_cell": ((32, 32), (131_072, 131_072)),
+    "amr.max_level": (1, 3),  # "2 - 4 levels" counted inclusively of L0
+    "amr.plot_int": (1, 20),
+    "castro.cfl": (0.3, 0.6),
+    "nprocs": (1, 1024),
+    "nodes": (1, 512),
+}
+
+# Mesh-size ladder (cells per side) with paired job shapes, following
+# the paper's scaling from 1 rank to 1024 ranks / 512 nodes.
+_MESH_LADDER: List[Tuple[int, int, int]] = [
+    # (n_cell_side, nprocs, nnodes)
+    (32, 1, 1),
+    (64, 2, 1),
+    (128, 4, 1),
+    (256, 8, 1),
+    (512, 32, 2),
+    (1024, 64, 4),
+    (2048, 128, 8),
+    (4096, 256, 16),
+    (8192, 128, 64),
+    (16384, 512, 128),
+    (131_072, 1024, 512),
+]
+
+
+def sweep_cases(
+    mesh_ladder: List[Tuple[int, int, int]] = _MESH_LADDER,
+    cfls: Tuple[float, ...] = (0.3, 0.6),
+    max_levels: Tuple[int, ...] = (1, 3),
+    plot_int: int = 10,
+    max_step: int = 100,
+) -> List[Case]:
+    """Cartesian sweep over the ladder x cfl x levels."""
+    cases: List[Case] = []
+    for n, nprocs, nnodes in mesh_ladder:
+        for cfl in cfls:
+            for max_level in max_levels:
+                name = f"sweep_n{n}_cfl{int(cfl * 10)}_maxl{max_level + 1}_np{nprocs}"
+                cases.append(
+                    Case(
+                        name=name,
+                        inputs=CastroInputs(
+                            n_cell=(n, n),
+                            max_level=max_level,
+                            max_step=max_step,
+                            plot_int=plot_int,
+                            cfl=cfl,
+                            stop_time=1e9,
+                            max_grid_size=256,
+                            blocking_factor=8,
+                        ),
+                        nprocs=nprocs,
+                        nnodes=nnodes,
+                        engine="workload",
+                    )
+                )
+    return cases
+
+
+def paper_sweep() -> List[Case]:
+    """A 47-case campaign spanning Table III, like the paper's study.
+
+    44 ladder cases (11 meshes x 2 cfl x 2 level counts) plus three
+    plot-frequency variants at the pivot mesh.
+    """
+    cases = sweep_cases()
+    # plot_int variants at 512^2 (the pivot mesh) to cover 1 - 20.
+    from dataclasses import replace
+
+    pivot = [c for c in cases if "n512_" in c.name][0]
+    for pi in (1, 5, 20):
+        cases.append(
+            replace(
+                pivot,
+                name=f"sweep_n512_plotint{pi}",
+                inputs=replace(pivot.inputs, plot_int=pi, max_step=40 if pi == 1 else 100),
+            )
+        )
+    assert len(cases) == 47, f"expected 47 cases, got {len(cases)}"
+    return cases

@@ -1,0 +1,114 @@
+"""Command-line entry points.
+
+``repro-sedov``     run a Sedov case (solver or workload engine)
+``repro-macsio``    run the MACSio proxy (Listing-1 argument set)
+``repro-model``     calibrate the proxy model for a named case
+``repro-campaign``  run the 47-case Table-III campaign and save records
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.report import format_series, format_table, human_bytes
+from .campaign.cases import CASE_REGISTRY, Case
+from .campaign.records import record_from_result, save_records
+from .campaign.runner import run_campaign, run_case
+from .campaign.sweep import paper_sweep
+from .core.calibration import calibrate_from_result, verify_proxy
+from .iosim.filesystem import RealFileSystem, VirtualFileSystem
+from .macsio.main import main as _macsio_main
+from .sim.inputs import CastroInputs, parse_inputs
+
+__all__ = ["sedov_main", "macsio_main", "model_main", "campaign_main"]
+
+
+def _resolve_case(name: str) -> Case:
+    try:
+        return CASE_REGISTRY[name]
+    except KeyError:
+        valid = ", ".join(sorted(CASE_REGISTRY))
+        raise SystemExit(f"unknown case {name!r}; choose from: {valid}")
+
+
+def sedov_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run one Sedov case and print its output-size series."""
+    ap = argparse.ArgumentParser(prog="repro-sedov", description=sedov_main.__doc__)
+    ap.add_argument("--case", default="case4", help="named case from the registry")
+    ap.add_argument("--inputs", help="AMReX inputs file (overrides --case inputs)")
+    ap.add_argument("--nprocs", type=int, help="override task count")
+    ap.add_argument("--outdir", help="write real files under this directory")
+    args = ap.parse_args(argv)
+    case = _resolve_case(args.case)
+    if args.inputs:
+        with open(args.inputs, "r", encoding="utf-8") as fh:
+            case_inputs = CastroInputs.from_inputs(parse_inputs(fh.read()))
+        case = Case(case.name, case_inputs, case.nprocs, case.nnodes, case.engine)
+    if args.nprocs:
+        case = Case(case.name, case.inputs, args.nprocs, case.nnodes, case.engine)
+    fs = RealFileSystem(args.outdir) if args.outdir else VirtualFileSystem()
+    result = run_case(case, fs=fs)
+    rec = record_from_result(case.name, result, case.nnodes, case.engine)
+    print(f"# {case.name}: {rec.n_cell[0]}x{rec.n_cell[1]} L0, "
+          f"maxlev={rec.max_level}, cfl={rec.cfl}, np={rec.nprocs} ({rec.engine})")
+    print(format_series(
+        rec.x_series(),
+        {"step_bytes": rec.step_bytes, "cumulative": rec.cumulative_bytes()},
+        x_label="x=(counter*ncells)",
+    ))
+    print(f"# total output: {human_bytes(sum(rec.step_bytes))}")
+    return 0
+
+
+def macsio_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the MACSio proxy executable front end."""
+    return _macsio_main(argv)
+
+
+def model_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Calibrate the proxy model for a case and verify it (Fig. 10)."""
+    ap = argparse.ArgumentParser(prog="repro-model", description=model_main.__doc__)
+    ap.add_argument("--case", default="case4")
+    args = ap.parse_args(argv)
+    case = _resolve_case(args.case)
+    result = run_case(case)
+    report = calibrate_from_result(result)
+    print(report.summary())
+    print(f"macsio argv: {' '.join(map(str, _fmt_params(report)))}")
+    check = verify_proxy(report)
+    print(f"verification: mean_rel_err={check.mean_rel_error:.4f}, "
+          f"final_cum_err={check.final_cumulative_rel_error:.4f}, "
+          f"shape_corr={check.shape_corr:.4f}")
+    return 0
+
+
+def _fmt_params(report) -> List[str]:
+    from .macsio.params import format_argv
+
+    return format_argv(report.macsio_params, report.nprocs)
+
+
+def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the 47-case sweep and save RunRecords as JSON."""
+    ap = argparse.ArgumentParser(prog="repro-campaign", description=campaign_main.__doc__)
+    ap.add_argument("--out", default="campaign_records.json")
+    ap.add_argument("--limit", type=int, help="run only the first N cases")
+    args = ap.parse_args(argv)
+    cases = paper_sweep()
+    if args.limit:
+        cases = cases[: args.limit]
+    def progress(name: str, dt: float) -> None:
+        print(f"  {name}: {dt:.2f}s", file=sys.stderr)
+    campaign = run_campaign(cases, progress=progress)
+    save_records(campaign.records, args.out)
+    rows = [
+        (r.name, f"{r.n_cell[0]}^2", r.nprocs, len(r.steps), human_bytes(sum(r.step_bytes)))
+        for r in campaign.records
+    ]
+    print(format_table(
+        ["case", "mesh", "np", "dumps", "total output"], rows,
+        title=f"campaign: {len(rows)} runs -> {args.out}",
+    ))
+    return 0

@@ -1,0 +1,64 @@
+"""Model-vs-simulation error metrics.
+
+The paper judges the proxy "close enough" by visual curve comparison
+(Figs. 10, 11); these metrics quantify the same comparisons so the
+benchmark harness can assert shapes programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "relative_errors",
+    "max_relative_error",
+    "mean_relative_error",
+    "final_cumulative_error",
+    "shape_correlation",
+]
+
+
+def _pair(model: Sequence[float], observed: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    m = np.asarray(model, dtype=np.float64)
+    o = np.asarray(observed, dtype=np.float64)
+    if m.shape != o.shape:
+        raise ValueError(f"length mismatch: model {m.shape} vs observed {o.shape}")
+    if (o <= 0).any():
+        raise ValueError("observed values must be positive for relative errors")
+    return m, o
+
+
+def relative_errors(model: Sequence[float], observed: Sequence[float]) -> np.ndarray:
+    """Pointwise ``|model - observed| / observed``."""
+    m, o = _pair(model, observed)
+    return np.abs(m - o) / o
+
+
+def max_relative_error(model: Sequence[float], observed: Sequence[float]) -> float:
+    return float(relative_errors(model, observed).max())
+
+
+def mean_relative_error(model: Sequence[float], observed: Sequence[float]) -> float:
+    return float(relative_errors(model, observed).mean())
+
+
+def final_cumulative_error(model: Sequence[float], observed: Sequence[float]) -> float:
+    """Relative error of the cumulative totals — the headline number."""
+    m, o = _pair(model, observed)
+    return float(abs(m.sum() - o.sum()) / o.sum())
+
+
+def shape_correlation(model: Sequence[float], observed: Sequence[float]) -> float:
+    """Pearson correlation of the two series (1.0 = same shape).
+
+    Constant series (zero variance) correlate perfectly with other
+    constant series and are otherwise undefined; return 1.0 / 0.0
+    accordingly rather than NaN.
+    """
+    m, o = _pair(model, observed)
+    sm, so = m.std(), o.std()
+    if sm == 0.0 or so == 0.0:
+        return 1.0 if sm == so else 0.0
+    return float(np.corrcoef(m, o)[0, 1])

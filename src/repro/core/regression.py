@@ -1,0 +1,84 @@
+"""Linear regression over calibrated cases (the paper's "simple
+analytical model").
+
+The paper applies linear regression to translate AMReX inputs into
+MACSio parameters.  Given a set of calibrated runs — each a row of
+features (cfl, max_level, log10 ncells, log10 nprocs) with fitted
+targets (f, dataset_growth) — ordinary least squares yields a predictor
+for *unseen* configurations, the "predictive I/O sizes" follow-up the
+conclusions sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CaseFeatures", "LinearModel", "fit_linear_model", "design_row"]
+
+
+@dataclass(frozen=True)
+class CaseFeatures:
+    """Input features of one calibrated case."""
+
+    cfl: float
+    max_level: int
+    ncells: int  # Nx * Ny at L0
+    nprocs: int
+
+    def __post_init__(self) -> None:
+        if self.ncells < 1 or self.nprocs < 1:
+            raise ValueError("ncells and nprocs must be positive")
+
+
+def design_row(c: CaseFeatures) -> np.ndarray:
+    """Feature vector: [1, cfl, max_level, log10(ncells), log10(nprocs)]."""
+    return np.array(
+        [1.0, c.cfl, float(c.max_level), np.log10(c.ncells), np.log10(c.nprocs)],
+        dtype=np.float64,
+    )
+
+
+FEATURE_NAMES = ("intercept", "cfl", "max_level", "log10_ncells", "log10_nprocs")
+
+
+@dataclass
+class LinearModel:
+    """OLS fit of one target over :func:`design_row` features."""
+
+    coef: np.ndarray
+    target_name: str
+    residual_rms: float = 0.0
+
+    def predict(self, c: CaseFeatures) -> float:
+        return float(design_row(c) @ self.coef)
+
+    def summary(self) -> str:
+        terms = ", ".join(
+            f"{name}={v:+.5g}" for name, v in zip(FEATURE_NAMES, self.coef)
+        )
+        return f"{self.target_name} ~ {terms} (rms={self.residual_rms:.3g})"
+
+
+def fit_linear_model(
+    cases: Sequence[CaseFeatures],
+    targets: Sequence[float],
+    target_name: str = "dataset_growth",
+) -> LinearModel:
+    """Least-squares fit of ``target ~ design_row(features)``.
+
+    With fewer cases than features the fit falls back to the
+    minimum-norm solution (lstsq handles rank deficiency).
+    """
+    if len(cases) != len(targets):
+        raise ValueError("cases and targets must have equal length")
+    if len(cases) < 2:
+        raise ValueError("need at least two cases to regress")
+    X = np.stack([design_row(c) for c in cases])
+    y = np.asarray(targets, dtype=np.float64)
+    coef, _res, _rank, _sv = np.linalg.lstsq(X, y, rcond=None)
+    pred = X @ coef
+    rms = float(np.sqrt(np.mean((pred - y) ** 2)))
+    return LinearModel(coef=coef, target_name=target_name, residual_rms=rms)

@@ -1,0 +1,115 @@
+"""The model variables of Eqs. (1) and (2).
+
+The paper expresses every run as series over a *cumulative* independent
+variable::
+
+    x = output_counter * ncells          (Eq. 1)
+    y = data_output_i,  i = (time step, level, task)   (Eq. 2)
+
+with ``output_counter = 1..n_outputs`` and ``ncells`` the base-level
+(L0) cell count.  This module builds those series from an
+:class:`~repro.iosim.darshan.IOTrace` at each of the three hierarchy
+granularities the paper analyzes (per-step, per-level, per-task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..iosim.darshan import IOTrace
+
+__all__ = ["ModelSeries", "build_series", "per_level_series", "per_task_series"]
+
+
+@dataclass(frozen=True)
+class ModelSeries:
+    """One (x, y) curve: cumulative cells vs cumulative bytes.
+
+    ``steps[k]`` is the simulation step of output event ``k``;
+    ``x[k] = (k + 1) * ncells`` (Eq. 1);
+    ``y_step[k]`` is the bytes of dump ``k`` alone;
+    ``y[k]`` is the cumulative bytes through dump ``k``.
+    """
+
+    ncells: int
+    steps: np.ndarray
+    x: np.ndarray
+    y_step: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.steps)
+        for name in ("x", "y_step", "y"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"series component {name} has wrong length")
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.steps)
+
+    def final_cumulative(self) -> float:
+        return float(self.y[-1]) if len(self.y) else 0.0
+
+
+def _series_from_per_step(ncells: int, per_step: Dict[int, int]) -> ModelSeries:
+    steps = np.array(sorted(per_step), dtype=np.int64)
+    y_step = np.array([per_step[s] for s in steps], dtype=np.float64)
+    x = (np.arange(len(steps), dtype=np.float64) + 1.0) * float(ncells)
+    return ModelSeries(ncells=ncells, steps=steps, x=x, y_step=y_step, y=np.cumsum(y_step))
+
+
+def build_series(trace: IOTrace, ncells: int, include_metadata: bool = True) -> ModelSeries:
+    """Per-step series over all levels and tasks (the Fig. 5/6 curves)."""
+    per_step: Dict[int, int] = {}
+    for r in trace:
+        if not include_metadata and r.kind == "metadata":
+            continue
+        per_step[r.step] = per_step.get(r.step, 0) + r.nbytes
+    if not per_step:
+        raise ValueError("trace contains no records")
+    return _series_from_per_step(ncells, per_step)
+
+
+def per_level_series(
+    trace: IOTrace, ncells: int, include_metadata: bool = False
+) -> Dict[int, ModelSeries]:
+    """One series per AMR level (the Fig. 7 decomposition)."""
+    per: Dict[int, Dict[int, int]] = {}
+    all_steps = sorted({r.step for r in trace})
+    for r in trace:
+        if r.level < 0:
+            continue
+        if not include_metadata and r.kind == "metadata":
+            continue
+        per.setdefault(r.level, {})
+        per[r.level][r.step] = per[r.level].get(r.step, 0) + r.nbytes
+    out: Dict[int, ModelSeries] = {}
+    for lev, table in sorted(per.items()):
+        # A level absent at some step contributed zero bytes then.
+        full = {s: table.get(s, 0) for s in all_steps}
+        out[lev] = _series_from_per_step(ncells, full)
+    return out
+
+
+def per_task_series(
+    trace: IOTrace, nprocs: int, level: Optional[int] = None
+) -> Dict[int, np.ndarray]:
+    """step -> per-task byte vector (the Fig. 8 panels).
+
+    Only data records count (metadata is written by rank 0 and would
+    skew the load-balance view).
+    """
+    out: Dict[int, np.ndarray] = {}
+    for step in sorted({r.step for r in trace}):
+        vec = np.zeros(nprocs, dtype=np.int64)
+        for r in trace:
+            if r.step != step or r.kind != "data":
+                continue
+            if level is not None and r.level != level:
+                continue
+            vec[r.rank] += r.nbytes
+        out[step] = vec
+    return out

@@ -1,0 +1,97 @@
+"""Physical boundary conditions (Castro ``lo_bc`` / ``hi_bc`` codes).
+
+The Sedov input file uses outflow (code 2) on all four sides.  We
+implement the codes the Sedov family of problems exercises: outflow
+(zero-gradient), symmetry/reflecting walls, and interior (no-op, for
+periodic or fine-fine boundaries handled elsewhere).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .state import UMX, UMY
+
+__all__ = ["BC", "apply_boundary"]
+
+
+class BC:
+    """AMReX boundary-condition integer codes (Listing 2's comment block)."""
+
+    INTERIOR = 0
+    INFLOW = 1
+    OUTFLOW = 2
+    SYMMETRY = 3
+    SLIPWALL = 4
+    NOSLIPWALL = 5
+
+
+def _reflect_lo(U: np.ndarray, g: int, axis: int, flip_comp: int) -> None:
+    """Mirror the first g interior layers into the lo-side ghosts."""
+    if axis == 1:
+        for k in range(g):
+            U[:, g - 1 - k, :] = U[:, g + k, :]
+            U[flip_comp, g - 1 - k, :] *= -1.0
+    else:
+        for k in range(g):
+            U[:, :, g - 1 - k] = U[:, :, g + k]
+            U[flip_comp, :, g - 1 - k] *= -1.0
+
+
+def _reflect_hi(U: np.ndarray, g: int, axis: int, flip_comp: int) -> None:
+    n = U.shape[axis]
+    if axis == 1:
+        for k in range(g):
+            U[:, n - g + k, :] = U[:, n - g - 1 - k, :]
+            U[flip_comp, n - g + k, :] *= -1.0
+    else:
+        for k in range(g):
+            U[:, :, n - g + k] = U[:, :, n - g - 1 - k]
+            U[flip_comp, :, n - g + k] *= -1.0
+
+
+def apply_boundary(
+    U: np.ndarray,
+    nghost: int,
+    lo_bc: tuple = (BC.OUTFLOW, BC.OUTFLOW),
+    hi_bc: tuple = (BC.OUTFLOW, BC.OUTFLOW),
+) -> None:
+    """Fill the ghost frame of ``U`` (shape (4, nx+2g, ny+2g)) in place.
+
+    Outflow copies the nearest interior layer (zero gradient); symmetry
+    and slip walls mirror with the normal momentum negated.  Corners end
+    up filled by applying x then y, as AMReX's FillDomainBoundary does.
+    """
+    g = nghost
+    if g == 0:
+        return
+    # --- x-direction -------------------------------------------------
+    code = lo_bc[0]
+    if code == BC.OUTFLOW:
+        U[:, :g, :] = U[:, g : g + 1, :]
+    elif code in (BC.SYMMETRY, BC.SLIPWALL, BC.NOSLIPWALL):
+        _reflect_lo(U, g, axis=1, flip_comp=UMX)
+    elif code != BC.INTERIOR:
+        raise NotImplementedError(f"lo_bc[0]={code} not supported")
+    code = hi_bc[0]
+    if code == BC.OUTFLOW:
+        U[:, -g:, :] = U[:, -g - 1 : -g, :]
+    elif code in (BC.SYMMETRY, BC.SLIPWALL, BC.NOSLIPWALL):
+        _reflect_hi(U, g, axis=1, flip_comp=UMX)
+    elif code != BC.INTERIOR:
+        raise NotImplementedError(f"hi_bc[0]={code} not supported")
+    # --- y-direction -------------------------------------------------
+    code = lo_bc[1]
+    if code == BC.OUTFLOW:
+        U[:, :, :g] = U[:, :, g : g + 1]
+    elif code in (BC.SYMMETRY, BC.SLIPWALL, BC.NOSLIPWALL):
+        _reflect_lo(U, g, axis=2, flip_comp=UMY)
+    elif code != BC.INTERIOR:
+        raise NotImplementedError(f"lo_bc[1]={code} not supported")
+    code = hi_bc[1]
+    if code == BC.OUTFLOW:
+        U[:, :, -g:] = U[:, :, -g - 1 : -g]
+    elif code in (BC.SYMMETRY, BC.SLIPWALL, BC.NOSLIPWALL):
+        _reflect_hi(U, g, axis=2, flip_comp=UMY)
+    elif code != BC.INTERIOR:
+        raise NotImplementedError(f"hi_bc[1]={code} not supported")

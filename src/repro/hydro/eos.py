@@ -1,0 +1,52 @@
+"""Gamma-law equation of state (Castro's ``eos_gamma_law``).
+
+Castro's Sedov setup uses an ideal-gas gamma-law EOS; everything the
+solver needs (pressure, sound speed, internal energy conversions) lives
+here, vectorized over numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GammaLawEOS"]
+
+
+@dataclass(frozen=True)
+class GammaLawEOS:
+    """Ideal-gas EOS ``p = (gamma - 1) rho e``.
+
+    Parameters
+    ----------
+    gamma:
+        Ratio of specific heats (Castro Sedov default 1.4).
+    small_pressure / small_density:
+        Floors applied in recoveries, mirroring Castro's ``small_pres``
+        and ``small_dens`` robustness parameters.
+    """
+
+    gamma: float = 1.4
+    small_pressure: float = 1e-12
+    small_density: float = 1e-12
+
+    def pressure(self, rho: np.ndarray, e_int: np.ndarray) -> np.ndarray:
+        """Pressure from density and specific internal energy."""
+        p = (self.gamma - 1.0) * rho * e_int
+        return np.maximum(p, self.small_pressure)
+
+    def internal_energy(self, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """Specific internal energy from density and pressure."""
+        return p / ((self.gamma - 1.0) * np.maximum(rho, self.small_density))
+
+    def sound_speed(self, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """Adiabatic sound speed ``sqrt(gamma p / rho)``."""
+        return np.sqrt(self.gamma * np.maximum(p, self.small_pressure)
+                       / np.maximum(rho, self.small_density))
+
+    def total_energy_density(
+        self, rho: np.ndarray, u: np.ndarray, v: np.ndarray, p: np.ndarray
+    ) -> np.ndarray:
+        """Total energy per unit volume ``rho e + rho (u^2+v^2)/2``."""
+        return p / (self.gamma - 1.0) + 0.5 * rho * (u * u + v * v)

@@ -1,0 +1,109 @@
+"""Approximate Riemann solvers: HLL and HLLC.
+
+Castro defaults to a full two-shock solver; HLLC captures the same wave
+families (two acoustic waves + contact) and is standard for Sedov-type
+blast problems.  Both solvers operate on primitive left/right states of
+shape (4, ...) with the *normal* velocity in component ``QU`` — the flux
+driver rotates states for the y-direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .eos import GammaLawEOS
+from .state import QP, QRHO, QU, QV, UEDEN, UMX, UMY, URHO
+
+__all__ = ["euler_flux", "hll_flux", "hllc_flux", "wave_speed_estimates", "RIEMANN_SOLVERS"]
+
+
+def euler_flux(W: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
+    """Physical Euler flux in the normal (QU) direction from primitives."""
+    rho, u, v, p = W[QRHO], W[QU], W[QV], W[QP]
+    E = eos.total_energy_density(rho, u, v, p)
+    F = np.empty_like(W)
+    F[URHO] = rho * u
+    F[UMX] = rho * u * u + p
+    F[UMY] = rho * u * v
+    F[UEDEN] = u * (E + p)
+    return F
+
+
+def wave_speed_estimates(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS):
+    """Davis-type signal speed estimates ``(SL, SR)``."""
+    cL = eos.sound_speed(WL[QRHO], WL[QP])
+    cR = eos.sound_speed(WR[QRHO], WR[QP])
+    SL = np.minimum(WL[QU] - cL, WR[QU] - cR)
+    SR = np.maximum(WL[QU] + cL, WR[QU] + cR)
+    return SL, SR
+
+
+def _prim_to_cons_local(W: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
+    rho, u, v, p = W[QRHO], W[QU], W[QV], W[QP]
+    U = np.empty_like(W)
+    U[URHO] = rho
+    U[UMX] = rho * u
+    U[UMY] = rho * v
+    U[UEDEN] = eos.total_energy_density(rho, u, v, p)
+    return U
+
+
+def hll_flux(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
+    """Two-wave HLL flux."""
+    FL = euler_flux(WL, eos)
+    FR = euler_flux(WR, eos)
+    UL = _prim_to_cons_local(WL, eos)
+    UR = _prim_to_cons_local(WR, eos)
+    SL, SR = wave_speed_estimates(WL, WR, eos)
+    denom = SR - SL
+    denom = np.where(np.abs(denom) < 1e-300, 1e-300, denom)
+    Fmid = (SR * FL - SL * FR + SL * SR * (UR - UL)) / denom
+    F = np.where(SL >= 0.0, FL, np.where(SR <= 0.0, FR, Fmid))
+    return F
+
+
+def hllc_flux(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
+    """Three-wave HLLC flux (Toro's formulation)."""
+    rhoL, uL, vL, pL = WL[QRHO], WL[QU], WL[QV], WL[QP]
+    rhoR, uR, vR, pR = WR[QRHO], WR[QU], WR[QV], WR[QP]
+    FL = euler_flux(WL, eos)
+    FR = euler_flux(WR, eos)
+    UL = _prim_to_cons_local(WL, eos)
+    UR = _prim_to_cons_local(WR, eos)
+    SL, SR = wave_speed_estimates(WL, WR, eos)
+    # Contact speed S* (Toro eq. 10.37).
+    num = pR - pL + rhoL * uL * (SL - uL) - rhoR * uR * (SR - uR)
+    den = rhoL * (SL - uL) - rhoR * (SR - uR)
+    den = np.where(np.abs(den) < 1e-300, 1e-300, den)
+    Sstar = num / den
+
+    def star_state(W, U, S, eos_=eos):
+        rho, u, v, p = W[QRHO], W[QU], W[QV], W[QP]
+        coef = rho * (S - u) / np.where(np.abs(S - Sstar) < 1e-300, 1e-300, S - Sstar)
+        Ustar = np.empty_like(U)
+        Ustar[URHO] = coef
+        Ustar[UMX] = coef * Sstar
+        Ustar[UMY] = coef * v
+        E = U[UEDEN]
+        Ustar[UEDEN] = coef * (
+            E / rho + (Sstar - u) * (Sstar + p / (rho * (S - u) + 1e-300))
+        )
+        return Ustar
+
+    ULs = star_state(WL, UL, SL)
+    URs = star_state(WR, UR, SR)
+    FLs = FL + SL * (ULs - UL)
+    FRs = FR + SR * (URs - UR)
+    F = np.where(
+        SL >= 0.0,
+        FL,
+        np.where(
+            Sstar >= 0.0,
+            FLs,
+            np.where(SR >= 0.0, FRs, FR),
+        ),
+    )
+    return F
+
+
+RIEMANN_SOLVERS = {"hll": hll_flux, "hllc": hllc_flux}

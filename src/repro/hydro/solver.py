@@ -1,0 +1,112 @@
+"""Level solver: advance a MultiFab of conserved state one time step.
+
+Combines ghost-cell exchange (fine-fine via ``fill_boundary``, physical
+via :mod:`repro.hydro.boundary`) with the patch Godunov kernel.  The
+simulation driver (:mod:`repro.sim.castro`) composes this with the AMR
+hierarchy and regridding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..amr.geometry import Geometry
+from ..amr.multifab import MultiFab
+from .boundary import BC, apply_boundary
+from .eos import GammaLawEOS
+from .flux import NGHOST_REQUIRED, advance_patch
+from .state import cons_to_prim
+from .timestep import cfl_timestep
+
+__all__ = ["HydroOptions", "LevelSolver"]
+
+
+@dataclass(frozen=True)
+class HydroOptions:
+    """Kernel and boundary choices for the level solver."""
+
+    riemann: str = "hllc"
+    limiter: str = "minmod"
+    lo_bc: Tuple[int, int] = (BC.OUTFLOW, BC.OUTFLOW)
+    hi_bc: Tuple[int, int] = (BC.OUTFLOW, BC.OUTFLOW)
+
+
+class LevelSolver:
+    """Advances one level's state MultiFab.
+
+    Parameters
+    ----------
+    geom:
+        The level geometry (provides dx, dy, and the domain box for
+        physical-boundary detection).
+    eos:
+        Equation of state.
+    options:
+        Kernel/boundary configuration.
+    """
+
+    def __init__(self, geom: Geometry, eos: GammaLawEOS, options: HydroOptions = HydroOptions()):
+        self.geom = geom
+        self.eos = eos
+        self.options = options
+
+    # ------------------------------------------------------------------
+    def fill_ghosts(self, mf: MultiFab) -> None:
+        """Fine-fine exchange then physical boundaries on domain edges."""
+        mf.fill_boundary()
+        g = mf.nghost
+        domain = self.geom.domain
+        for fab in mf:
+            touches_lo_x = fab.box.lo[0] == domain.lo[0]
+            touches_hi_x = fab.box.hi[0] == domain.hi[0]
+            touches_lo_y = fab.box.lo[1] == domain.lo[1]
+            touches_hi_y = fab.box.hi[1] == domain.hi[1]
+            if not (touches_lo_x or touches_hi_x or touches_lo_y or touches_hi_y):
+                continue
+            lo_bc = (
+                self.options.lo_bc[0] if touches_lo_x else BC.INTERIOR,
+                self.options.lo_bc[1] if touches_lo_y else BC.INTERIOR,
+            )
+            hi_bc = (
+                self.options.hi_bc[0] if touches_hi_x else BC.INTERIOR,
+                self.options.hi_bc[1] if touches_hi_y else BC.INTERIOR,
+            )
+            apply_boundary(fab.data, g, lo_bc, hi_bc)
+
+    # ------------------------------------------------------------------
+    def stable_dt(self, mf: MultiFab, cfl: float) -> float:
+        """Min CFL dt over all fabs of the level."""
+        dx, dy = self.geom.cell_size
+        dts = []
+        for fab in mf:
+            W = cons_to_prim(fab.interior(), self.eos)
+            dts.append(cfl_timestep(W, dx, dy, cfl, self.eos))
+        return min(dts)
+
+    # ------------------------------------------------------------------
+    def advance(self, mf: MultiFab, dt: float) -> None:
+        """One conservative step on every fab, in place."""
+        if mf.nghost < NGHOST_REQUIRED:
+            raise ValueError(
+                f"state MultiFab needs >= {NGHOST_REQUIRED} ghosts, has {mf.nghost}"
+            )
+        dx, dy = self.geom.cell_size
+        self.fill_ghosts(mf)
+        updates = []
+        for fab in mf:
+            Unew = advance_patch(
+                fab.data,
+                dt,
+                dx,
+                dy,
+                self.eos,
+                nghost=mf.nghost,
+                riemann=self.options.riemann,
+                limiter=self.options.limiter,
+            )
+            updates.append(Unew)
+        for fab, Unew in zip(mf, updates):
+            fab.interior()[...] = Unew

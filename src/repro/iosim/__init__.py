@@ -1,0 +1,26 @@
+"""I/O substrate: filesystem backends, storage timing, traces, Summit."""
+
+from .burst import BurstEvent, BurstSchedule
+from .darshan import IORecord, IOTrace
+from .filesystem import FileSystem, RealFileSystem, VirtualFileSystem, format_tree
+from .readmodel import RestartCost, optimal_check_interval, restart_read_time
+from .storage import StorageModel, WriteCost
+from .summit import SUMMIT, SummitSystem
+
+__all__ = [
+    "BurstEvent",
+    "BurstSchedule",
+    "IORecord",
+    "IOTrace",
+    "FileSystem",
+    "RealFileSystem",
+    "VirtualFileSystem",
+    "format_tree",
+    "StorageModel",
+    "WriteCost",
+    "RestartCost",
+    "optimal_check_interval",
+    "restart_read_time",
+    "SUMMIT",
+    "SummitSystem",
+]

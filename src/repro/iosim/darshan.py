@@ -1,0 +1,128 @@
+"""Darshan-like I/O trace recorder.
+
+Carns et al. (the paper's ref. [19]) characterize application I/O by
+recording per-file counters.  :class:`IOTrace` is the equivalent here:
+writers report each (virtual) file operation and the trace accumulates
+the counters the analysis layer consumes — bytes and file counts per
+step / level / rank, plus burst timings when a storage model is
+attached.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["IORecord", "IOTrace"]
+
+
+@dataclass(frozen=True)
+class IORecord:
+    """One recorded write: who wrote how much, where, and when."""
+
+    step: int
+    level: int
+    rank: int
+    nbytes: int
+    path: str
+    kind: str = "data"  # "data" | "metadata"
+
+
+class IOTrace:
+    """Accumulates write records and answers aggregate queries."""
+
+    def __init__(self) -> None:
+        self._records: List[IORecord] = []
+        self._burst_seconds: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        step: int,
+        level: int,
+        rank: int,
+        nbytes: int,
+        path: str,
+        kind: str = "data",
+    ) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        self._records.append(IORecord(step, level, rank, nbytes, path, kind))
+
+    def record_burst_time(self, step: int, seconds: float) -> None:
+        self._burst_seconds[step] = self._burst_seconds.get(step, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[IORecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[IORecord, ...]:
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------
+    # aggregations — the (timestep, level, task) hierarchy of Fig. 2
+    # ------------------------------------------------------------------
+    def steps(self) -> List[int]:
+        return sorted({r.step for r in self._records})
+
+    def levels(self) -> List[int]:
+        return sorted({r.level for r in self._records if r.level >= 0})
+
+    def total_bytes(self, kind: Optional[str] = None) -> int:
+        return sum(r.nbytes for r in self._records if kind is None or r.kind == kind)
+
+    def bytes_per_step(self) -> Dict[int, int]:
+        out: Dict[int, int] = defaultdict(int)
+        for r in self._records:
+            out[r.step] += r.nbytes
+        return dict(out)
+
+    def bytes_per_level(self, step: Optional[int] = None) -> Dict[int, int]:
+        out: Dict[int, int] = defaultdict(int)
+        for r in self._records:
+            if r.level < 0:
+                continue
+            if step is None or r.step == step:
+                out[r.level] += r.nbytes
+        return dict(out)
+
+    def bytes_per_rank(
+        self, step: Optional[int] = None, level: Optional[int] = None, nprocs: Optional[int] = None
+    ) -> np.ndarray:
+        n = nprocs if nprocs is not None else (max((r.rank for r in self._records), default=-1) + 1)
+        out = np.zeros(max(n, 0), dtype=np.int64)
+        for r in self._records:
+            if step is not None and r.step != step:
+                continue
+            if level is not None and r.level != level:
+                continue
+            out[r.rank] += r.nbytes
+        return out
+
+    def bytes_step_level_rank(self) -> Dict[Tuple[int, int, int], int]:
+        """The full (timestep, level, task) -> bytes mapping (Eq. 2's y)."""
+        out: Dict[Tuple[int, int, int], int] = defaultdict(int)
+        for r in self._records:
+            out[(r.step, r.level, r.rank)] += r.nbytes
+        return dict(out)
+
+    def file_count(self, step: Optional[int] = None) -> int:
+        paths = {r.path for r in self._records if step is None or r.step == step}
+        return len(paths)
+
+    def cumulative_bytes_by_step(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(steps, cumulative bytes) series — the y-axis of Fig. 5."""
+        per = self.bytes_per_step()
+        steps = np.array(sorted(per), dtype=np.int64)
+        sizes = np.array([per[s] for s in steps], dtype=np.float64)
+        return steps, np.cumsum(sizes)
+
+    def burst_seconds(self) -> Dict[int, float]:
+        return dict(self._burst_seconds)

@@ -1,0 +1,223 @@
+"""Filesystem abstraction: virtual (size-accounting) and real backends.
+
+The paper's measurements are *sizes* of files in a directory tree
+(Fig. 2 / Fig. 3) plus burst timings.  Writers in :mod:`repro.plotfile`
+and :mod:`repro.macsio` target this small interface so that
+
+- :class:`VirtualFileSystem` runs paper-scale campaigns in memory with
+  exact byte accounting and zero disk traffic (real disk I/O overhead
+  would distort benchmarks — the reproduction-band note), and
+- :class:`RealFileSystem` writes actual files for the runnable examples.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FileSystem", "VirtualFileSystem", "RealFileSystem", "format_tree"]
+
+
+def _normalize(path: str) -> str:
+    path = path.replace("\\", "/")
+    parts = [p for p in path.split("/") if p not in ("", ".")]
+    return "/".join(parts)
+
+
+class FileSystem:
+    """Interface: mkdirs, write_bytes/write_text, size queries, listing."""
+
+    def mkdirs(self, path: str) -> None:
+        raise NotImplementedError
+
+    def write_bytes(self, path: str, data: bytes) -> int:
+        raise NotImplementedError
+
+    def write_size(self, path: str, nbytes: int) -> int:
+        """Record a file of ``nbytes`` without materializing content."""
+        raise NotImplementedError
+
+    def append_bytes(self, path: str, data: bytes) -> int:
+        raise NotImplementedError
+
+    def write_text(self, path: str, text: str) -> int:
+        return self.write_bytes(path, text.encode("utf-8"))
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def size(self, path: str) -> int:
+        raise NotImplementedError
+
+    def files(self, prefix: str = "") -> List[str]:
+        """All file paths under ``prefix`` (sorted)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # derived conveniences
+    # ------------------------------------------------------------------
+    def total_size(self, prefix: str = "") -> int:
+        return sum(self.size(p) for p in self.files(prefix))
+
+    def file_count(self, prefix: str = "") -> int:
+        return len(self.files(prefix))
+
+    def sizes(self, prefix: str = "") -> Dict[str, int]:
+        return {p: self.size(p) for p in self.files(prefix)}
+
+
+class VirtualFileSystem(FileSystem):
+    """In-memory tree storing only path -> size (optionally content).
+
+    ``keep_content=True`` retains the written bytes (used by tests and
+    the plotfile reader); the default drops content and keeps sizes,
+    which is all the I/O model needs and scales to billions of cells.
+    """
+
+    def __init__(self, keep_content: bool = False) -> None:
+        self._sizes: Dict[str, int] = {}
+        self._content: Optional[Dict[str, bytes]] = {} if keep_content else None
+        self._dirs: set = set()
+
+    def mkdirs(self, path: str) -> None:
+        path = _normalize(path)
+        parts = path.split("/") if path else []
+        for k in range(1, len(parts) + 1):
+            self._dirs.add("/".join(parts[:k]))
+
+    def write_bytes(self, path: str, data: bytes) -> int:
+        path = _normalize(path)
+        self._ensure_parent(path)
+        self._sizes[path] = len(data)
+        if self._content is not None:
+            self._content[path] = bytes(data)
+        return len(data)
+
+    def write_size(self, path: str, nbytes: int) -> int:
+        if nbytes < 0:
+            raise ValueError("file size cannot be negative")
+        path = _normalize(path)
+        self._ensure_parent(path)
+        self._sizes[path] = int(nbytes)
+        if self._content is not None:
+            self._content[path] = b"\0" * int(nbytes)
+        return int(nbytes)
+
+    def append_bytes(self, path: str, data: bytes) -> int:
+        path = _normalize(path)
+        self._ensure_parent(path)
+        self._sizes[path] = self._sizes.get(path, 0) + len(data)
+        if self._content is not None:
+            self._content[path] = self._content.get(path, b"") + bytes(data)
+        return len(data)
+
+    def read_bytes(self, path: str) -> bytes:
+        if self._content is None:
+            raise RuntimeError("VirtualFileSystem built with keep_content=False")
+        path = _normalize(path)
+        try:
+            return self._content[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def exists(self, path: str) -> bool:
+        path = _normalize(path)
+        return path in self._sizes or path in self._dirs
+
+    def size(self, path: str) -> int:
+        path = _normalize(path)
+        try:
+            return self._sizes[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def files(self, prefix: str = "") -> List[str]:
+        prefix = _normalize(prefix)
+        if not prefix:
+            return sorted(self._sizes)
+        pre = prefix + "/"
+        return sorted(p for p in self._sizes if p == prefix or p.startswith(pre))
+
+    def _ensure_parent(self, path: str) -> None:
+        parent = path.rsplit("/", 1)[0] if "/" in path else ""
+        if parent:
+            self.mkdirs(parent)
+
+
+class RealFileSystem(FileSystem):
+    """Adapter writing under a root directory on the actual disk."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _full(self, path: str) -> str:
+        return os.path.join(self.root, _normalize(path))
+
+    def mkdirs(self, path: str) -> None:
+        os.makedirs(self._full(path), exist_ok=True)
+
+    def write_bytes(self, path: str, data: bytes) -> int:
+        full = self._full(path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "wb") as fh:
+            fh.write(data)
+        return len(data)
+
+    def write_size(self, path: str, nbytes: int) -> int:
+        """Materialize as a sparse-ish zero file (truncate to size)."""
+        full = self._full(path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "wb") as fh:
+            fh.truncate(nbytes)
+        return nbytes
+
+    def append_bytes(self, path: str, data: bytes) -> int:
+        full = self._full(path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "ab") as fh:
+            fh.write(data)
+        return len(data)
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(self._full(path), "rb") as fh:
+            return fh.read()
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(self._full(path))
+
+    def size(self, path: str) -> int:
+        return os.path.getsize(self._full(path))
+
+    def files(self, prefix: str = "") -> List[str]:
+        base = self._full(prefix) if prefix else self.root
+        out: List[str] = []
+        if not os.path.isdir(base):
+            if os.path.isfile(base):
+                return [_normalize(prefix)]
+            return []
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in filenames:
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, self.root)
+                out.append(_normalize(rel))
+        return sorted(out)
+
+
+def format_tree(fs: FileSystem, prefix: str = "", max_entries: int = 200) -> str:
+    """ASCII rendering of the file tree with sizes (Figs. 2 & 3 style)."""
+    paths = fs.files(prefix)
+    lines: List[str] = []
+    shown_dirs: set = set()
+    for p in paths[:max_entries]:
+        parts = p.split("/")
+        for depth in range(len(parts) - 1):
+            d = "/".join(parts[: depth + 1])
+            if d not in shown_dirs:
+                shown_dirs.add(d)
+                lines.append("  " * depth + parts[depth] + "/")
+        lines.append("  " * (len(parts) - 1) + f"{parts[-1]}  [{fs.size(p)} B]")
+    if len(paths) > max_entries:
+        lines.append(f"... ({len(paths) - max_entries} more files)")
+    return "\n".join(lines)

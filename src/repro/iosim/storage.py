@@ -1,0 +1,151 @@
+"""Parallel-filesystem performance model (Summit/Alpine-like).
+
+Models the time to write a file of N bytes from a given node as
+
+    t = t_metadata + t_open + N / min(bw_stripe, bw_node_share) * (1 + noise)
+
+with per-node injection-bandwidth sharing (ranks on a node contend) and
+lognormal variability, the "dynamic / random system characteristics"
+(bandwidth, file-system variability) the paper's Section III-B says a
+calibrated proxy lets practitioners study.
+
+Numbers default to published Alpine (Summit's GPFS) figures scaled to a
+per-node view: 2.5 TB/s aggregate over 4608 nodes ~ 545 MB/s/node
+sustained injection per node at full scale, with single-stream writes
+typically seeing ~1-2 GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["StorageModel", "WriteCost"]
+
+
+@dataclass(frozen=True)
+class WriteCost:
+    """Breakdown of one modeled file write."""
+
+    nbytes: int
+    seconds: float
+    metadata_seconds: float
+    transfer_seconds: float
+
+
+@dataclass
+class StorageModel:
+    """Bandwidth/latency/variability model of a parallel filesystem.
+
+    Parameters
+    ----------
+    stream_bandwidth:
+        Max single-stream write bandwidth (bytes/s).
+    node_bandwidth:
+        Injection bandwidth shared by all ranks of a node (bytes/s).
+    metadata_latency:
+        Fixed cost per file create+open+close (seconds) — dominates
+        N-to-N patterns with many small files.
+    variability:
+        Sigma of the lognormal noise multiplier (0 => deterministic).
+    seed:
+        RNG seed for reproducible noise.
+    """
+
+    stream_bandwidth: float = 1.5e9
+    node_bandwidth: float = 12.5e9
+    metadata_latency: float = 2.0e-3
+    variability: float = 0.0
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.stream_bandwidth <= 0 or self.node_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.metadata_latency < 0:
+            raise ValueError("metadata latency cannot be negative")
+        if self.variability < 0:
+            raise ValueError("variability cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def _noise(self) -> float:
+        if self.variability == 0.0:
+            return 1.0
+        # Lognormal with unit median: median write time is the model time.
+        return float(np.exp(self._rng.normal(0.0, self.variability)))
+
+    def write_time(self, nbytes: int, concurrent_on_node: int = 1) -> WriteCost:
+        """Modeled seconds to write one file of ``nbytes``.
+
+        ``concurrent_on_node`` ranks share the node's injection
+        bandwidth during the burst.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        if concurrent_on_node < 1:
+            raise ValueError("concurrent_on_node must be >= 1")
+        share = self.node_bandwidth / concurrent_on_node
+        bw = min(self.stream_bandwidth, share)
+        meta = self.metadata_latency * self._noise()
+        xfer = nbytes / bw * self._noise()
+        return WriteCost(nbytes, meta + xfer, meta, xfer)
+
+    def burst_time(
+        self,
+        bytes_per_rank: Sequence[int],
+        node_of_rank: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Wall time of an N-to-N burst: slowest rank wins.
+
+        Every rank writes its file simultaneously; ranks on the same node
+        share injection bandwidth for the duration of the burst (a
+        conservative static-contention approximation).
+        """
+        nb = np.asarray(bytes_per_rank, dtype=np.int64)
+        n = len(nb)
+        if n == 0:
+            return 0.0
+        if node_of_rank is None:
+            nodes = np.zeros(n, dtype=np.int64)
+        else:
+            nodes = np.asarray(node_of_rank, dtype=np.int64)
+            if nodes.shape != nb.shape:
+                raise ValueError("node_of_rank must match bytes_per_rank length")
+        times = np.empty(n, dtype=np.float64)
+        # Count active writers per node (ranks with nonzero work still pay
+        # metadata; a rank with no file at a level writes nothing).
+        active = nb > 0
+        per_node_active = {}
+        for node in np.unique(nodes):
+            per_node_active[int(node)] = max(1, int(active[nodes == node].sum()))
+        for r in range(n):
+            if not active[r]:
+                times[r] = 0.0
+                continue
+            cost = self.write_time(int(nb[r]), per_node_active[int(nodes[r])])
+            times[r] = cost.seconds
+        return float(times.max())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def summit_alpine(variability: float = 0.15, seed: int = 12345) -> "StorageModel":
+        """Alpine-flavored defaults with realistic jitter."""
+        return StorageModel(
+            stream_bandwidth=1.5e9,
+            node_bandwidth=12.5e9,
+            metadata_latency=2.0e-3,
+            variability=variability,
+            seed=seed,
+        )
+
+    @staticmethod
+    def ideal() -> "StorageModel":
+        """Deterministic, latency-free model for unit tests."""
+        return StorageModel(
+            stream_bandwidth=1e9,
+            node_bandwidth=1e12,
+            metadata_latency=0.0,
+            variability=0.0,
+        )

@@ -1,0 +1,44 @@
+"""Summit platform constants and run-scale helpers.
+
+The paper's campaign spans 1–512 Summit nodes (1/9 of the 4608-node
+system) and 1–1024 MPI tasks (Table III).  These constants let the
+campaign and timing layers reason about the same machine envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.topology import JobTopology
+from .storage import StorageModel
+
+__all__ = ["SummitSystem", "SUMMIT"]
+
+
+@dataclass(frozen=True)
+class SummitSystem:
+    """Static description of the Summit machine (OLCF published specs)."""
+
+    total_nodes: int = 4608
+    cores_per_node: int = 42
+    gpus_per_node: int = 6
+    node_memory_gb: int = 512
+    # Alpine (GPFS) aggregate write bandwidth, bytes/s.
+    alpine_aggregate_bw: float = 2.5e12
+
+    def max_fraction_nodes(self, fraction: float) -> int:
+        """Nodes available when using a fraction of the system (paper: 1/9)."""
+        if not (0 < fraction <= 1):
+            raise ValueError("fraction must be in (0, 1]")
+        return int(self.total_nodes * fraction)
+
+    def storage_model(self, variability: float = 0.15, seed: int = 12345) -> StorageModel:
+        return StorageModel.summit_alpine(variability=variability, seed=seed)
+
+    def topology(self, nprocs: int, nnodes: int) -> JobTopology:
+        if nnodes > self.total_nodes:
+            raise ValueError(f"Summit has {self.total_nodes} nodes, requested {nnodes}")
+        return JobTopology(nprocs, nnodes)
+
+
+SUMMIT = SummitSystem()

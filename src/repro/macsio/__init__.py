@@ -1,0 +1,39 @@
+"""MACSio proxy I/O application (parameter-faithful reimplementation).
+
+Accepts the Table-II argument set (interface, parallel_file_mode,
+num_dumps, part_size, avg_num_parts, vars_per_part, compute_time,
+meta_size, dataset_growth) and produces the Fig.-3 N-to-N output layout
+with per-dump growth — the executable side of the paper's Listing 1.
+"""
+
+from .dump import MacsioRun, run_macsio
+from .mesh import MeshPart, build_part, parts_per_rank
+from .miftmpl import (
+    JSON_CHARS_PER_DOUBLE,
+    data_filename,
+    json_inflation,
+    part_json_bytes,
+    render_part_json,
+    root_filename,
+    root_json_text,
+)
+from .params import MacsioParams, format_argv, parse_argv, parse_size
+
+__all__ = [
+    "MacsioRun",
+    "run_macsio",
+    "MeshPart",
+    "build_part",
+    "parts_per_rank",
+    "JSON_CHARS_PER_DOUBLE",
+    "data_filename",
+    "json_inflation",
+    "part_json_bytes",
+    "render_part_json",
+    "root_filename",
+    "root_json_text",
+    "MacsioParams",
+    "format_argv",
+    "parse_argv",
+    "parse_size",
+]

@@ -1,0 +1,97 @@
+"""The ``miftmpl`` (JSON) interface: MACSio's template MIF plugin.
+
+Writes each task's parts as a JSON document
+``macsio_json_{taskID:05d}_{dumpID:03d}.json`` plus a per-dump root
+metadata file ``macsio_json_root_{dumpID:03d}.json`` — the Fig. 3
+layout.  JSON encodes doubles as text, inflating the binary payload by a
+near-constant factor; :func:`json_inflation` exposes the factor so the
+size-accounting path matches the real-output path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .mesh import MeshPart
+
+__all__ = [
+    "data_filename",
+    "root_filename",
+    "json_inflation",
+    "render_part_json",
+    "part_json_bytes",
+    "root_json_text",
+    "JSON_CHARS_PER_DOUBLE",
+    "PART_STRUCTURE_OVERHEAD",
+]
+
+# A double rendered by json at repr precision: ~19 chars + ", " separator.
+JSON_CHARS_PER_DOUBLE = 20.0
+# Keys/braces/coordinate arrays per part document, measured from
+# render_part_json on reference parts.
+PART_STRUCTURE_OVERHEAD = 256
+
+
+def data_filename(task: int, dump: int, prefix: str = "macsio_json") -> str:
+    return f"{prefix}_{task:05d}_{dump:03d}.json"
+
+
+def root_filename(dump: int, prefix: str = "macsio_json") -> str:
+    return f"{prefix}_root_{dump:03d}.json"
+
+
+def json_inflation() -> float:
+    """Bytes-of-JSON per byte-of-binary-double (~20 chars per 8 bytes)."""
+    return JSON_CHARS_PER_DOUBLE / 8.0
+
+
+def render_part_json(part: MeshPart, task: int, dump: int, seed: Optional[int] = None) -> str:
+    """Real JSON document for one task's part list (one part here).
+
+    Matches miftmpl's shape: mesh topology metadata + one flat array per
+    variable.
+    """
+    values = part.values(seed if seed is not None else task * 1000 + dump)
+    doc: Dict[str, object] = {
+        "filename": data_filename(task, dump),
+        "parallel_task": task,
+        "dump": dump,
+        "mesh": {
+            "type": "rectilinear",
+            "dims": [part.nx, part.ny],
+            "zones": part.zones,
+        },
+        "vars": {
+            f"var_{v:03d}": [float(x) for x in values[v].ravel()]
+            for v in range(part.vars_per_part)
+        },
+    }
+    return json.dumps(doc)
+
+
+def part_json_bytes(part: MeshPart, scale: float = 1.0) -> int:
+    """Modeled JSON size of one part document without rendering it.
+
+    ``scale`` multiplies the zone payload (used by ``dataset_growth``:
+    growth scales data volume, keeping the topology metadata fixed).
+    """
+    payload = part.zones * part.vars_per_part * JSON_CHARS_PER_DOUBLE * scale
+    return int(round(payload)) + PART_STRUCTURE_OVERHEAD
+
+
+def root_json_text(nprocs: int, dump: int, parts_per_task: List[int], meta_size: int = 0) -> str:
+    """The per-dump root metadata document (task -> file map)."""
+    doc: Dict[str, object] = {
+        "dump": dump,
+        "num_tasks": nprocs,
+        "files": {str(t): data_filename(t, dump) for t in range(nprocs)},
+        "parts_per_task": parts_per_task,
+    }
+    text = json.dumps(doc)
+    if meta_size > len(text):
+        # MACSio pads metadata to the requested meta_size.
+        text += " " * (meta_size - len(text))
+    return text

@@ -1,0 +1,6 @@
+"""Simulated MPI substrate: communicator, ranks and job topology."""
+
+from .comm import RankView, SimComm
+from .topology import JobTopology
+
+__all__ = ["RankView", "SimComm", "JobTopology"]

@@ -1,0 +1,127 @@
+"""Simulated MPI communicator.
+
+mpi4py is not available offline and — per the reproduction notes — real
+MPI process overhead would distort I/O microbenchmarks anyway.  The
+simulation campaign therefore runs all "ranks" in one process:
+:class:`SimComm` provides the communicator surface the rest of the code
+programs against (size/rank, reductions, gathers, barriers with a
+virtual clock), with per-rank state held in plain Python.
+
+The API deliberately mirrors mpi4py's lowercase object methods so the
+code would port to real MPI by swapping the communicator object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SimComm", "RankView"]
+
+
+class SimComm:
+    """A simulated communicator over ``size`` ranks.
+
+    Collectives operate on *lists indexed by rank* — the caller holds all
+    ranks' values because everything lives in one process.  A virtual
+    clock per rank supports barrier-synchronised timing models (used by
+    :mod:`repro.iosim.burst`).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self._size = int(size)
+        self._clock = np.zeros(self._size, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def Get_size(self) -> int:  # mpi4py-compatible spelling
+        return self._size
+
+    def ranks(self) -> range:
+        return range(self._size)
+
+    # ------------------------------------------------------------------
+    # virtual time
+    # ------------------------------------------------------------------
+    def clock(self, rank: int) -> float:
+        """Current virtual time of ``rank`` (seconds)."""
+        return float(self._clock[rank])
+
+    def clocks(self) -> np.ndarray:
+        return self._clock.copy()
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Advance one rank's virtual clock (compute or I/O time)."""
+        if seconds < 0:
+            raise ValueError("cannot advance clock by negative time")
+        self._clock[rank] += seconds
+
+    def advance_all(self, seconds_per_rank: Sequence[float]) -> None:
+        arr = np.asarray(seconds_per_rank, dtype=np.float64)
+        if arr.shape != (self._size,):
+            raise ValueError(f"expected {self._size} per-rank durations")
+        if (arr < 0).any():
+            raise ValueError("cannot advance clocks by negative time")
+        self._clock += arr
+
+    def barrier(self) -> float:
+        """Synchronize all virtual clocks to the max; returns that time."""
+        t = float(self._clock.max())
+        self._clock[:] = t
+        return t
+
+    def reset_clocks(self) -> None:
+        self._clock[:] = 0.0
+
+    # ------------------------------------------------------------------
+    # collectives (single-process semantics)
+    # ------------------------------------------------------------------
+    def allreduce_sum(self, values: Sequence[float]) -> float:
+        self._check_per_rank(values)
+        return float(np.sum(np.asarray(values, dtype=np.float64)))
+
+    def allreduce_max(self, values: Sequence[float]) -> float:
+        self._check_per_rank(values)
+        return float(np.max(np.asarray(values, dtype=np.float64)))
+
+    def allreduce_min(self, values: Sequence[float]) -> float:
+        self._check_per_rank(values)
+        return float(np.min(np.asarray(values, dtype=np.float64)))
+
+    def gather(self, values: Sequence[Any]) -> List[Any]:
+        """Gather to root — trivially the list itself, copied."""
+        self._check_per_rank(values)
+        return list(values)
+
+    def bcast(self, value: Any) -> List[Any]:
+        """Broadcast — every rank receives the same object reference."""
+        return [value] * self._size
+
+    def _check_per_rank(self, values: Sequence[Any]) -> None:
+        if len(values) != self._size:
+            raise ValueError(
+                f"per-rank sequence has length {len(values)}, expected {self._size}"
+            )
+
+
+@dataclass
+class RankView:
+    """A (comm, rank) pair — what a single MPI process would see."""
+
+    comm: SimComm
+    rank: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.rank < self.comm.size):
+            raise ValueError(f"rank {self.rank} out of range for size {self.comm.size}")
+
+    @property
+    def size(self) -> int:
+        return self.comm.size

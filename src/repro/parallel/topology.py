@@ -1,0 +1,59 @@
+"""Job topology: ranks-per-node layout (Summit ``jsrun`` analogue).
+
+The paper's runs use ``jsrun -n nproc`` on Summit nodes (Table III pairs
+nprocs 1–1024 with 1–512 nodes).  The node layout matters for the I/O
+timing model because ranks on one node share injection bandwidth to the
+parallel filesystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["JobTopology"]
+
+
+@dataclass(frozen=True)
+class JobTopology:
+    """Placement of ``nprocs`` ranks over ``nnodes`` nodes, block order.
+
+    Mirrors jsrun's default packing: ranks 0..k-1 on node 0, etc.
+    """
+
+    nprocs: int
+    nnodes: int
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1 or self.nnodes < 1:
+            raise ValueError("nprocs and nnodes must be >= 1")
+        if self.nnodes > self.nprocs:
+            raise ValueError(
+                f"more nodes ({self.nnodes}) than ranks ({self.nprocs})"
+            )
+
+    @property
+    def ranks_per_node(self) -> int:
+        """Max ranks on any node (ceiling of the even split)."""
+        return -(-self.nprocs // self.nnodes)
+
+    def node_of_rank(self, rank: int) -> int:
+        if not (0 <= rank < self.nprocs):
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.ranks_per_node
+
+    def ranks_on_node(self, node: int) -> List[int]:
+        rpn = self.ranks_per_node
+        lo = node * rpn
+        hi = min(lo + rpn, self.nprocs)
+        if lo >= self.nprocs:
+            raise ValueError(f"node {node} has no ranks")
+        return list(range(lo, hi))
+
+    @staticmethod
+    def summit_default(nprocs: int, ranks_per_node: int = 2) -> "JobTopology":
+        """Paper-style layout (e.g. 32 tasks on 2 nodes => 16/node; the
+        paper's Table III pairs are reproduced by choosing rpn so that
+        nnodes = ceil(nprocs / rpn))."""
+        nnodes = max(1, -(-nprocs // ranks_per_node))
+        return JobTopology(nprocs, nnodes)

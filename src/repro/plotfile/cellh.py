@@ -1,0 +1,72 @@
+"""Per-level ``Cell_H`` metadata files.
+
+``Cell_H`` describes the FABs of one level: the box list, which
+``Cell_D_xxxxx`` file holds each FAB and at what byte offset, and the
+per-FAB component min/max tables AMReX appends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..amr.box import Box
+from ..amr.boxarray import BoxArray
+
+__all__ = ["build_cellh_text", "FabLocation"]
+
+
+class FabLocation:
+    """Placement of one FAB: which Cell_D file, at which offset."""
+
+    __slots__ = ("filename", "offset")
+
+    def __init__(self, filename: str, offset: int) -> None:
+        self.filename = filename
+        self.offset = int(offset)
+
+
+def build_cellh_text(
+    ba: BoxArray,
+    ncomp: int,
+    locations: Sequence[FabLocation],
+    minmax: Sequence[Tuple[Sequence[float], Sequence[float]]] = (),
+) -> str:
+    """Render a level's ``Cell_H``.
+
+    Parameters
+    ----------
+    ba:
+        The level's box array.
+    ncomp:
+        Components per FAB.
+    locations:
+        One :class:`FabLocation` per box (order matches ``ba``).
+    minmax:
+        Optional per-FAB (mins, maxs) tables, each of length ``ncomp``.
+    """
+    if len(locations) != len(ba):
+        raise ValueError("need one FabLocation per box")
+    lines: List[str] = []
+    lines.append("1")  # version
+    lines.append("1")  # how (ordering)
+    lines.append(str(ncomp))
+    lines.append("0")  # nghost on disk
+    lines.append(f"({len(ba)} 0")
+    for b in ba:
+        lines.append(f"(({b.lo[0]},{b.lo[1]}) ({b.hi[0]},{b.hi[1]}) (0,0))")
+    lines.append(")")
+    lines.append(str(len(ba)))
+    for loc in locations:
+        lines.append(f"FabOnDisk: {loc.filename} {loc.offset}")
+    if minmax:
+        if len(minmax) != len(ba):
+            raise ValueError("minmax table length must match box count")
+        lines.append("")
+        lines.append(f"{len(ba)},{ncomp}")
+        for mins, _maxs in minmax:
+            lines.append(",".join(repr(float(v)) for v in mins) + ",")
+        lines.append("")
+        lines.append(f"{len(ba)},{ncomp}")
+        for _mins, maxs in minmax:
+            lines.append(",".join(repr(float(v)) for v in maxs) + ",")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,67 @@
+"""On-disk FAB encoding (AMReX ``FArrayBox`` binary format).
+
+Each grid's data is stored in a ``Cell_D_xxxxx`` file as an ASCII FAB
+header line followed by raw doubles.  We reproduce the real format so
+that the byte accounting (and the real-filesystem writer) matches what
+Castro produces on Summit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..amr.box import Box
+
+__all__ = ["fab_header", "fab_nbytes", "encode_fab", "decode_fab_header"]
+
+# The native-double descriptor AMReX writes on little-endian machines.
+_REAL_DESCRIPTOR = (
+    "FAB ((8, (64 11 52 0 1 12 0 1023)),(8, (8 7 6 5 4 3 2 1)))"
+)
+
+
+def fab_header(box: Box, ncomp: int) -> str:
+    """ASCII header line for one FAB (AMReX ``FArrayBox::writeOn``)."""
+    lo = box.lo
+    hi = box.hi
+    # AMReX box format: ((lo) (hi) (type)) with cell-centered type (0,0).
+    boxstr = f"(({lo[0]},{lo[1]}) ({hi[0]},{hi[1]}) (0,0))"
+    return f"{_REAL_DESCRIPTOR}{boxstr} {ncomp}\n"
+
+
+def fab_nbytes(box: Box, ncomp: int) -> int:
+    """Total on-disk bytes of one FAB: header + ncomp*numpts doubles."""
+    return len(fab_header(box, ncomp).encode("ascii")) + box.numpts * ncomp * 8
+
+
+def encode_fab(box: Box, data: np.ndarray) -> bytes:
+    """Serialize data of shape (ncomp, nx, ny) to the on-disk FAB bytes.
+
+    Component-major, Fortran order within each component, matching
+    AMReX's column-major storage.
+    """
+    ncomp = data.shape[0]
+    nx, ny = box.shape
+    if data.shape != (ncomp, nx, ny):
+        raise ValueError(f"data shape {data.shape} does not match box {box} / ncomp {ncomp}")
+    header = fab_header(box, ncomp).encode("ascii")
+    payload = np.ascontiguousarray(
+        np.stack([np.asfortranarray(data[c]).ravel(order="F") for c in range(ncomp)])
+    ).astype("<f8").tobytes()
+    return header + payload
+
+
+def decode_fab_header(line: str) -> Tuple[Box, int]:
+    """Parse a FAB header line back into (box, ncomp).
+
+    The real-number descriptor ends with ")))"; the box spec and the
+    component count follow it.
+    """
+    rest = line[line.index(")))") + 3 :]  # "((0,0) (31,31) (0,0)) 24"
+    body, _, ncomp_s = rest.rpartition(")")
+    pieces = body.replace("(", " ").replace(")", " ").split()
+    lo = tuple(int(v) for v in pieces[0].split(","))
+    hi = tuple(int(v) for v in pieces[1].split(","))
+    return Box((lo[0], lo[1]), (hi[0], hi[1])), int(ncomp_s.strip())

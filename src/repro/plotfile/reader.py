@@ -1,0 +1,132 @@
+"""Plotfile structure reader and size inspector.
+
+Parses back what :mod:`repro.plotfile.writer` produced — enough to
+verify round-trips in tests and to collect the per (step, level, task)
+sizes the paper's analysis is built on (it post-processed plotfile
+trees on Summit with a Julia package, ``jexio``; this is our
+equivalent).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..iosim.filesystem import FileSystem
+
+__all__ = ["PlotfileInfo", "LevelInfo", "inspect_plotfile", "list_plotfiles"]
+
+_CELLD_RE = re.compile(r"^Cell_D_(\d+)$")
+_LEVEL_RE = re.compile(r"^Level_(\d+)$")
+_PLT_RE = re.compile(r"^(.*?)(\d{5,})$")
+
+
+@dataclass
+class LevelInfo:
+    """Sizes of one level directory of a plotfile."""
+
+    level: int
+    cellh_bytes: int = 0
+    task_bytes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(self.task_bytes.values())
+
+    @property
+    def ntasks_with_data(self) -> int:
+        return len(self.task_bytes)
+
+
+@dataclass
+class PlotfileInfo:
+    """Sizes and structure of one plotfile directory."""
+
+    path: str
+    step: int
+    header_bytes: int = 0
+    job_info_bytes: int = 0
+    levels: Dict[int, LevelInfo] = field(default_factory=dict)
+
+    @property
+    def nlevels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(lv.data_bytes for lv in self.levels.values())
+
+    @property
+    def metadata_bytes(self) -> int:
+        return (
+            self.header_bytes
+            + self.job_info_bytes
+            + sum(lv.cellh_bytes for lv in self.levels.values())
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.metadata_bytes
+
+    def bytes_per_level(self) -> Dict[int, int]:
+        return {lev: info.data_bytes for lev, info in self.levels.items()}
+
+    def bytes_per_task(self, level: Optional[int] = None) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for lev, info in self.levels.items():
+            if level is not None and lev != level:
+                continue
+            for rank, nb in info.task_bytes.items():
+                out[rank] = out.get(rank, 0) + nb
+        return out
+
+
+def _step_of(path: str, prefix: str) -> Optional[int]:
+    name = path.rstrip("/").split("/")[-1]
+    if not name.startswith(prefix):
+        return None
+    suffix = name[len(prefix) :]
+    return int(suffix) if suffix.isdigit() else None
+
+
+def list_plotfiles(fs: FileSystem, prefix: str, root: str = "") -> List[Tuple[int, str]]:
+    """All ``(step, dir)`` plotfile directories under ``root``, sorted."""
+    dirs: Dict[str, int] = {}
+    for p in fs.files(root):
+        parts = p.split("/")
+        for i, part in enumerate(parts[:-1]):
+            if part.startswith(prefix):
+                step = _step_of(part, prefix)
+                if step is not None:
+                    dirs["/".join(parts[: i + 1])] = step
+    return sorted(((s, d) for d, s in dirs.items()))
+
+
+def inspect_plotfile(fs: FileSystem, pdir: str) -> PlotfileInfo:
+    """Collect the size hierarchy of one plotfile directory."""
+    name = pdir.rstrip("/").split("/")[-1]
+    m = _PLT_RE.match(name)
+    step = int(m.group(2)) if m else -1
+    info = PlotfileInfo(path=pdir, step=step)
+    pre = pdir.rstrip("/") + "/"
+    for p in fs.files(pdir):
+        rel = p[len(pre) :] if p.startswith(pre) else p
+        parts = rel.split("/")
+        if len(parts) == 1:
+            if parts[0] == "Header":
+                info.header_bytes = fs.size(p)
+            elif parts[0] == "job_info":
+                info.job_info_bytes = fs.size(p)
+        elif len(parts) == 2:
+            lm = _LEVEL_RE.match(parts[0])
+            if not lm:
+                continue
+            lev = int(lm.group(1))
+            linfo = info.levels.setdefault(lev, LevelInfo(lev))
+            cm = _CELLD_RE.match(parts[1])
+            if cm:
+                linfo.task_bytes[int(cm.group(1))] = fs.size(p)
+            elif parts[1] == "Cell_H":
+                linfo.cellh_bytes = fs.size(p)
+    return info

@@ -1,0 +1,60 @@
+"""Plot-variable lists (Castro state + ``amr.derive_plot_vars=ALL``).
+
+The paper's input file (Listing 2) sets ``amr.derive_plot_vars=ALL``,
+which makes Castro write every state *and* derived field — about two
+dozen double-precision values per cell.  That multiplicity is exactly
+the origin of the paper's empirical correction factor ``f ≈ 23–25`` in
+Eq. (3): output bytes per cell ≈ (number of fields) × 8.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["STATE_VARS", "DERIVED_VARS", "plot_variables", "N_PLOT_VARS_ALL"]
+
+# Castro 2-D state vector with one species (the gamma-law Sedov setup).
+STATE_VARS: Tuple[str, ...] = (
+    "density",
+    "xmom",
+    "ymom",
+    "rho_E",
+    "rho_e",
+    "Temp",
+    "rho_X(A)",
+)
+
+# The derived fields Castro's ALL produces for a 2-D hydro run.
+DERIVED_VARS: Tuple[str, ...] = (
+    "pressure",
+    "kineng",
+    "soundspeed",
+    "MachNumber",
+    "entropy",
+    "divu",
+    "eint_E",
+    "eint_e",
+    "logden",
+    "magmom",
+    "magvel",
+    "radvel",
+    "x_velocity",
+    "y_velocity",
+    "t_sound_t_enuc",
+    "X(A)",
+    "maggrav",
+)
+
+N_PLOT_VARS_ALL = len(STATE_VARS) + len(DERIVED_VARS)
+assert N_PLOT_VARS_ALL == 24, "derive_plot_vars=ALL should carry 24 fields"
+
+
+def plot_variables(derive_all: bool = True) -> List[str]:
+    """Names of the fields a plotfile carries.
+
+    ``derive_all=True`` reproduces the paper's configuration (24 fields,
+    hence f ≈ 24); ``False`` gives the bare state vector.
+    """
+    if derive_all:
+        return list(STATE_VARS) + list(DERIVED_VARS)
+    return list(STATE_VARS)

@@ -1,0 +1,23 @@
+"""Analytic Sedov AMR I/O workload generation (paper-scale substitute).
+
+Generates per-(timestep, level, task) plotfile workloads from the
+Sedov–Taylor self-similar solution instead of a PDE solve, covering the
+paper's Table-III envelope (meshes to 131072^2, 1024 ranks) in seconds.
+"""
+
+from .annulus import AnnulusCoefficients, annulus_boxarray, refined_region_mask
+from .calibrator import CoefficientFit, fit_coefficients, measure_level_cells
+from .generator import SedovWorkloadGenerator
+from .timebase import SedovTimebase, StepRecord
+
+__all__ = [
+    "CoefficientFit",
+    "fit_coefficients",
+    "measure_level_cells",
+    "AnnulusCoefficients",
+    "annulus_boxarray",
+    "refined_region_mask",
+    "SedovWorkloadGenerator",
+    "SedovTimebase",
+    "StepRecord",
+]

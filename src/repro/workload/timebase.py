@@ -1,0 +1,123 @@
+"""Analytic time-step sequence for a Sedov run.
+
+Reproduces Castro's step cadence without solving the PDE: the CFL limit
+is evaluated against the Sedov–Taylor strong-shock wave speeds, and the
+``init_shrink`` / ``change_max`` ramping of
+:class:`~repro.hydro.timestep.TimestepController` is applied verbatim.
+This is what links ``castro.cfl`` to the physical time reached at each
+plot dump — the mechanism behind the CFL sensitivity in Figs. 6 and 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..hydro.eos import GammaLawEOS
+from ..hydro.sedov import SedovProblem, sedov_taylor_radius, sedov_taylor_shock_speed
+from ..hydro.timestep import TimestepController
+
+__all__ = ["SedovTimebase", "StepRecord"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One coarse step of the analytic run."""
+
+    step: int
+    time: float  # time at the *end* of this step
+    dt: float
+
+
+class SedovTimebase:
+    """Generates the (step, time) sequence of a Sedov run analytically.
+
+    Parameters
+    ----------
+    problem:
+        Blast configuration (energy, ambient state, init radius).
+    eos:
+        Gamma-law EOS for post-shock wave-speed estimates.
+    dx0:
+        Base-level cell size; with subcycling, the coarse CFL step is
+        ``cfl * dx0 / smax`` regardless of the number of levels.
+    cfl / init_shrink / change_max:
+        Castro time-step knobs.
+    """
+
+    def __init__(
+        self,
+        problem: SedovProblem,
+        eos: GammaLawEOS,
+        dx0: float,
+        cfl: float,
+        init_shrink: float = 0.01,
+        change_max: float = 1.1,
+    ) -> None:
+        self.problem = problem
+        self.eos = eos
+        self.dx0 = float(dx0)
+        self.cfl = float(cfl)
+        self.controller = TimestepController(cfl, init_shrink, change_max)
+        # Initial blast state wave speed: sound speed of the hot bubble
+        # (full circle, center-of-domain blast).
+        bubble_area = math.pi * problem.r_init**2
+        p_init = (eos.gamma - 1.0) * problem.exp_energy / bubble_area
+        self._c_init = float(
+            eos.sound_speed(np.asarray(problem.rho0), np.asarray(p_init))
+        )
+        self._c_amb = float(
+            eos.sound_speed(np.asarray(problem.rho0), np.asarray(problem.p0))
+        )
+        # Time at which the self-similar shock has swept the init region.
+        self._t_ignition = math.sqrt(
+            problem.rho0 / problem.exp_energy
+        ) * (problem.r_init / 1.0) ** 2
+
+    # ------------------------------------------------------------------
+    def max_wave_speed(self, t: float) -> float:
+        """|u| + c estimate at time ``t`` (strong-shock relations).
+
+        For a strong shock of speed D, the post-shock ``u + c`` is
+        ``D * (2 + sqrt(2 gamma (gamma-1))) / (gamma + 1)``; early times
+        cap at the initial bubble sound speed, late times floor at the
+        ambient sound speed.
+        """
+        g = self.eos.gamma
+        k_post = (2.0 + math.sqrt(2.0 * g * (g - 1.0))) / (g + 1.0)
+        if t <= self._t_ignition:
+            return self._c_init
+        D = sedov_taylor_shock_speed(t, self.problem.exp_energy, self.problem.rho0)
+        return max(self._c_amb, min(self._c_init, k_post * D))
+
+    def cfl_dt(self, t: float) -> float:
+        return self.cfl * self.dx0 / self.max_wave_speed(t)
+
+    # ------------------------------------------------------------------
+    def run(self, max_step: int, stop_time: float = math.inf) -> List[StepRecord]:
+        """The full coarse-step sequence of a run."""
+        self.controller.reset()
+        records: List[StepRecord] = []
+        t = 0.0
+        for step in range(1, max_step + 1):
+            if t >= stop_time:
+                break
+            dt = self.controller.next_dt(self.cfl_dt(t))
+            t += dt
+            records.append(StepRecord(step, t, dt))
+        return records
+
+    def output_times(
+        self, max_step: int, plot_int: int, stop_time: float = math.inf
+    ) -> List[Tuple[int, float]]:
+        """(step, time) of every plotfile dump: step 0 plus multiples of
+        ``plot_int``."""
+        seq = self.run(max_step, stop_time)
+        out = [(0, 0.0)]
+        for rec in seq:
+            if rec.step % plot_int == 0:
+                out.append((rec.step, rec.time))
+        return out

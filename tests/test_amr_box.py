@@ -1,0 +1,233 @@
+"""Unit and property tests for repro.amr.box."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box, bounding_box, coarsen_index, refine_index
+
+
+def boxes(max_coord=64, max_size=32):
+    """Strategy producing valid boxes."""
+    return st.builds(
+        lambda lo0, lo1, s0, s1: Box((lo0, lo1), (lo0 + s0 - 1, lo1 + s1 - 1)),
+        st.integers(-max_coord, max_coord),
+        st.integers(-max_coord, max_coord),
+        st.integers(1, max_size),
+        st.integers(1, max_size),
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = Box((0, 0), (7, 3))
+        assert b.shape == (8, 4)
+        assert b.numpts == 32
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            Box((5, 0), (3, 3))
+        with pytest.raises(ValueError):
+            Box((0, 5), (3, 3))
+
+    def test_from_size(self):
+        b = Box.from_size((2, 3), (4, 5))
+        assert b.lo == (2, 3)
+        assert b.hi == (5, 7)
+        assert b.shape == (4, 5)
+
+    def test_from_size_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box.from_size((0, 0), (0, 4))
+
+    def test_cell_centered_domain(self):
+        b = Box.cell_centered(32, 16)
+        assert b.lo == (0, 0)
+        assert b.hi == (31, 15)
+        assert b.numpts == 512
+
+    def test_numpy_ints_normalized(self):
+        b = Box((np.int64(1), np.int64(2)), (np.int64(3), np.int64(4)))
+        assert isinstance(b.lo[0], int)
+        assert b == Box((1, 2), (3, 4))
+
+
+class TestQueries:
+    def test_contains_point(self):
+        b = Box((0, 0), (3, 3))
+        assert b.contains_point((0, 0))
+        assert b.contains_point((3, 3))
+        assert not b.contains_point((4, 3))
+
+    def test_contains_box(self):
+        outer = Box((0, 0), (10, 10))
+        assert outer.contains(Box((2, 2), (5, 5)))
+        assert outer.contains(outer)
+        assert not outer.contains(Box((2, 2), (11, 5)))
+
+    def test_intersection(self):
+        a = Box((0, 0), (5, 5))
+        b = Box((3, 3), (8, 8))
+        inter = a & b
+        assert inter == Box((3, 3), (5, 5))
+
+    def test_disjoint_intersection_none(self):
+        assert Box((0, 0), (1, 1)) & Box((5, 5), (6, 6)) is None
+
+    def test_touching_edges_intersect(self):
+        # Inclusive bounds: sharing a cell column means overlap.
+        assert Box((0, 0), (2, 2)).intersects(Box((2, 0), (4, 2)))
+        assert not Box((0, 0), (2, 2)).intersects(Box((3, 0), (4, 2)))
+
+
+class TestTransforms:
+    def test_shift(self):
+        assert Box((0, 0), (1, 1)).shift(3, -2) == Box((3, -2), (4, -1))
+
+    def test_grow_shrink(self):
+        b = Box((2, 2), (5, 5))
+        assert b.grow(1) == Box((1, 1), (6, 6))
+        assert b.grow(1).grow(-1) == b
+
+    def test_coarsen_refine_identity_when_aligned(self):
+        b = Box((0, 0), (7, 7))
+        assert b.coarsen(2).refine(2) == b
+        assert b.is_coarsenable(2)
+
+    def test_coarsen_negative_indices(self):
+        assert coarsen_index(-1, 2) == -1
+        assert coarsen_index(-2, 2) == -1
+        assert coarsen_index(-3, 2) == -2
+
+    def test_refine_counts(self):
+        b = Box((1, 1), (2, 2))  # 2x2
+        r = b.refine(4)
+        assert r.numpts == b.numpts * 16
+
+    def test_unaligned_not_coarsenable(self):
+        assert not Box((1, 0), (8, 7)).is_coarsenable(2)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            refine_index(1, 0)
+        with pytest.raises(ValueError):
+            coarsen_index(1, -1)
+
+
+class TestChopDifference:
+    def test_chop_x(self):
+        left, right = Box((0, 0), (7, 3)).chop(0, 4)
+        assert left == Box((0, 0), (3, 3))
+        assert right == Box((4, 0), (7, 3))
+
+    def test_chop_y(self):
+        lo, hi = Box((0, 0), (3, 7)).chop(1, 2)
+        assert lo == Box((0, 0), (3, 1))
+        assert hi == Box((0, 2), (3, 7))
+
+    def test_chop_out_of_range(self):
+        b = Box((0, 0), (3, 3))
+        with pytest.raises(ValueError):
+            b.chop(0, 0)
+        with pytest.raises(ValueError):
+            b.chop(0, 4)
+        with pytest.raises(ValueError):
+            b.chop(2, 1)
+
+    def test_difference_disjoint(self):
+        b = Box((0, 0), (3, 3))
+        assert b.difference(Box((10, 10), (11, 11))) == [b]
+
+    def test_difference_total(self):
+        b = Box((0, 0), (3, 3))
+        assert b.difference(Box((-1, -1), (4, 4))) == []
+
+    def test_difference_center_hole(self):
+        b = Box((0, 0), (9, 9))
+        hole = Box((3, 3), (6, 6))
+        pieces = b.difference(hole)
+        total = sum(p.numpts for p in pieces)
+        assert total == b.numpts - hole.numpts
+        # pieces must be disjoint and not meet the hole
+        for i, p in enumerate(pieces):
+            assert not p.intersects(hole)
+            for q in pieces[i + 1 :]:
+                assert not p.intersects(q)
+
+
+class TestIterationSlices:
+    def test_cells_count(self):
+        b = Box((1, 2), (3, 4))
+        assert len(list(b.cells())) == b.numpts
+
+    def test_slices_roundtrip(self):
+        arr = np.zeros((10, 10))
+        b = Box((2, 3), (5, 7))
+        arr[b.slices()] = 1.0
+        assert arr.sum() == b.numpts
+
+    def test_slices_with_origin(self):
+        arr = np.zeros((4, 4))
+        b = Box((10, 10), (12, 12))
+        arr[b.slices(origin=(10, 10))] = 1.0
+        assert arr.sum() == 9
+
+
+class TestBoundingBox:
+    def test_single(self):
+        b = Box((0, 0), (1, 1))
+        assert bounding_box([b]) == b
+
+    def test_multiple(self):
+        bb = bounding_box([Box((0, 0), (1, 1)), Box((5, -2), (6, 0))])
+        assert bb == Box((0, -2), (6, 1))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+# ----------------------------------------------------------------------
+# property-based invariants
+# ----------------------------------------------------------------------
+@given(boxes(), boxes())
+def test_intersection_commutative(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(boxes(), boxes())
+def test_intersection_contained_in_both(a, b):
+    inter = a & b
+    if inter is not None:
+        assert a.contains(inter) and b.contains(inter)
+
+
+@given(boxes(), st.integers(2, 4))
+def test_coarsen_refine_covers(b, ratio):
+    """refine(coarsen(b)) always contains b."""
+    assert b.coarsen(ratio).refine(ratio).contains(b)
+
+
+@given(boxes(), st.integers(2, 4))
+def test_refine_then_coarsen_identity(b, ratio):
+    assert b.refine(ratio).coarsen(ratio) == b
+
+
+@given(boxes(), boxes())
+def test_difference_partition(a, b):
+    """a = (a \\ b) U (a & b), all disjoint."""
+    pieces = a.difference(b)
+    inter = a & b
+    total = sum(p.numpts for p in pieces) + (inter.numpts if inter else 0)
+    assert total == a.numpts
+    for p in pieces:
+        if inter is not None:
+            assert not p.intersects(inter)
+
+
+@given(boxes(), st.integers(1, 5))
+def test_grow_monotone(b, n):
+    g = b.grow(n)
+    assert g.contains(b)
+    assert g.numpts >= b.numpts

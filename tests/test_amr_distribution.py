@@ -1,0 +1,166 @@
+"""Tests for distribution mappings (round-robin, knapsack, Morton SFC)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import (
+    DistributionMapping,
+    knapsack_map,
+    make_distribution,
+    morton_key,
+    rank_loads,
+    round_robin_map,
+    sfc_map,
+)
+
+
+def uniform_ba(n, size=8):
+    """n equal boxes in a row."""
+    return BoxArray([Box((i * size, 0), ((i + 1) * size - 1, size - 1)) for i in range(n)])
+
+
+class TestMapping:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributionMapping((0, 1, 5), nprocs=2)
+        with pytest.raises(ValueError):
+            DistributionMapping((0,), nprocs=0)
+
+    def test_boxes_of_rank(self):
+        dm = DistributionMapping((0, 1, 0, 1), nprocs=2)
+        assert dm.boxes_of_rank(0) == [0, 2]
+        assert dm.boxes_of_rank(1) == [1, 3]
+
+
+class TestRoundRobin:
+    def test_cyclic(self):
+        dm = round_robin_map(uniform_ba(7), 3)
+        assert dm.ranks == (0, 1, 2, 0, 1, 2, 0)
+
+    def test_uniform_boxes_balanced(self):
+        ba = uniform_ba(12)
+        loads = rank_loads(ba, round_robin_map(ba, 4))
+        assert loads.max() == loads.min()
+
+
+class TestKnapsack:
+    def test_perfectly_balanceable(self):
+        ba = uniform_ba(8)
+        loads = rank_loads(ba, knapsack_map(ba, 4))
+        assert loads.max() == loads.min()
+
+    def test_heavy_box_isolated(self):
+        # one 16x16 box and four 4x4 boxes, 2 ranks
+        boxes = [Box((0, 0), (15, 15))] + [
+            Box((20 + 5 * i, 0), (23 + 5 * i, 3)) for i in range(4)
+        ]
+        ba = BoxArray(boxes)
+        dm = knapsack_map(ba, 2)
+        heavy_rank = dm[0]
+        # all small boxes go to the other rank
+        for k in range(1, 5):
+            assert dm[k] != heavy_rank
+
+    def test_beats_round_robin_on_skewed(self):
+        rng = np.random.default_rng(0)
+        boxes = []
+        x = 0
+        for _ in range(20):
+            s = int(rng.integers(1, 20))
+            boxes.append(Box((x, 0), (x + s - 1, s - 1)))
+            x += s + 1
+        ba = BoxArray(boxes)
+        imb_kn = rank_loads(ba, knapsack_map(ba, 4)).max()
+        imb_rr = rank_loads(ba, round_robin_map(ba, 4)).max()
+        assert imb_kn <= imb_rr
+
+
+class TestMorton:
+    def test_key_ordering_locality(self):
+        # (0,0) < (1,0) < (0,1)? Morton interleaves i low bit first.
+        assert morton_key(0, 0) == 0
+        assert morton_key(1, 0) == 1
+        assert morton_key(0, 1) == 2
+        assert morton_key(1, 1) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            morton_key(-1, 0)
+
+    def test_distinct_keys(self):
+        keys = {morton_key(i, j) for i in range(16) for j in range(16)}
+        assert len(keys) == 256
+
+
+class TestSFC:
+    def test_all_ranks_used_when_enough_boxes(self):
+        ba = uniform_ba(16)
+        dm = sfc_map(ba, 4)
+        assert set(dm.ranks) == {0, 1, 2, 3}
+
+    def test_contiguity_along_curve(self):
+        ba = uniform_ba(16)
+        dm = sfc_map(ba, 4)
+        keys = [morton_key(b.lo[0], b.lo[1]) for b in ba]
+        order = sorted(range(16), key=lambda k: keys[k])
+        seq = [dm[k] for k in order]
+        # ranks along the curve must be non-decreasing
+        assert all(a <= b for a, b in zip(seq, seq[1:]))
+
+    def test_empty_boxarray(self):
+        dm = sfc_map(BoxArray(), 4)
+        assert len(dm) == 0
+
+
+class TestDispatch:
+    def test_strategies(self):
+        ba = uniform_ba(8)
+        for s in ("round_robin", "knapsack", "sfc"):
+            dm = make_distribution(ba, 2, s)
+            assert len(dm) == 8
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_distribution(uniform_ba(2), 2, "random")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(1, 30), min_size=1, max_size=40),
+    st.integers(1, 8),
+    st.sampled_from(["round_robin", "knapsack", "sfc"]),
+)
+def test_every_box_assigned_and_loads_conserve(sizes, nprocs, strategy):
+    boxes = []
+    x = 0
+    for s in sizes:
+        boxes.append(Box((x, 0), (x + s - 1, 0)))
+        x += s
+    ba = BoxArray(boxes)
+    dm = make_distribution(ba, nprocs, strategy)
+    assert len(dm) == len(ba)
+    loads = rank_loads(ba, dm)
+    assert loads.sum() == ba.numpts
+    assert (loads >= 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6))
+def test_knapsack_within_2x_of_ideal(nprocs):
+    """Greedy LPT guarantees max load <= (4/3) OPT for equal bins; we
+    assert the looser 2x bound against the lower bound max(mean, max_box)."""
+    rng = np.random.default_rng(nprocs)
+    sizes = rng.integers(1, 50, size=30)
+    boxes = []
+    x = 0
+    for s in sizes:
+        boxes.append(Box((x, 0), (x + int(s) - 1, 0)))
+        x += int(s)
+    ba = BoxArray(boxes)
+    loads = rank_loads(ba, knapsack_map(ba, nprocs))
+    lower = max(ba.numpts / nprocs, ba.box_sizes().max())
+    assert loads.max() <= 2 * lower

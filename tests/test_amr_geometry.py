@@ -1,0 +1,76 @@
+"""Tests for repro.amr.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.geometry import CoordSys, Geometry
+
+
+@pytest.fixture
+def unit_geom():
+    return Geometry(Box.cell_centered(32, 32))
+
+
+class TestCellSize:
+    def test_unit_domain(self, unit_geom):
+        assert unit_geom.dx == pytest.approx(1.0 / 32)
+        assert unit_geom.dy == pytest.approx(1.0 / 32)
+
+    def test_anisotropic(self):
+        g = Geometry(Box.cell_centered(10, 20), prob_hi=(2.0, 1.0))
+        assert g.dx == pytest.approx(0.2)
+        assert g.dy == pytest.approx(0.05)
+
+    def test_cell_volume(self, unit_geom):
+        assert unit_geom.cell_volume() == pytest.approx(1.0 / 1024)
+
+
+class TestRefine:
+    def test_refine_halves_dx(self, unit_geom):
+        fine = unit_geom.refine(2)
+        assert fine.dx == pytest.approx(unit_geom.dx / 2)
+        assert fine.domain.numpts == unit_geom.domain.numpts * 4
+        assert fine.prob_lo == unit_geom.prob_lo
+        assert fine.prob_hi == unit_geom.prob_hi
+
+
+class TestCenters:
+    def test_first_center(self, unit_geom):
+        x, y = unit_geom.cell_center((0, 0))
+        assert x == pytest.approx(0.5 / 32)
+        assert y == pytest.approx(0.5 / 32)
+
+    def test_meshgrid_shape(self, unit_geom):
+        b = Box((2, 3), (5, 9))
+        X, Y = unit_geom.cell_centers(b)
+        assert X.shape == b.shape
+        assert Y.shape == b.shape
+        # ij indexing: X varies along axis 0 only
+        assert np.allclose(X[:, 0], X[:, -1])
+        assert np.allclose(Y[0, :], Y[-1, :])
+
+    def test_centers_inside_physical_box(self, unit_geom):
+        b = Box((0, 0), (31, 31))
+        X, Y = unit_geom.cell_centers(b)
+        assert (X > 0).all() and (X < 1).all()
+        assert (Y > 0).all() and (Y < 1).all()
+
+
+class TestPhysicalBox:
+    def test_full_domain(self, unit_geom):
+        lo, hi = unit_geom.physical_box(unit_geom.domain)
+        assert lo == pytest.approx((0.0, 0.0))
+        assert hi == pytest.approx((1.0, 1.0))
+
+    def test_subbox(self, unit_geom):
+        lo, hi = unit_geom.physical_box(Box((0, 0), (15, 15)))
+        assert hi == pytest.approx((0.5, 0.5))
+
+
+def test_coord_sys_codes():
+    """The Sedov input uses coord_sys = 0 (Cartesian)."""
+    assert CoordSys.CARTESIAN == 0
+    assert CoordSys.CYLINDRICAL_RZ == 1
+    g = Geometry(Box.cell_centered(4, 4), coord_sys=CoordSys.CARTESIAN)
+    assert g.coord_sys == 0

@@ -1,0 +1,135 @@
+"""Tests for grid generation (blocking factor + max grid size)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.box import Box
+from repro.amr.grid import (
+    GridParams,
+    align_to_blocking_factor,
+    chop_to_max_size,
+    make_level_grids,
+)
+
+
+class TestGridParams:
+    def test_defaults_match_listing2(self):
+        p = GridParams()
+        assert p.blocking_factor == 8
+        assert p.max_grid_size == 256
+
+    def test_invalid_combos(self):
+        with pytest.raises(ValueError):
+            GridParams(blocking_factor=0)
+        with pytest.raises(ValueError):
+            GridParams(blocking_factor=16, max_grid_size=8)
+        with pytest.raises(ValueError):
+            GridParams(blocking_factor=8, max_grid_size=20)
+
+
+class TestAlignment:
+    def test_already_aligned(self):
+        domain = Box.cell_centered(64, 64)
+        b = Box((8, 16), (15, 31))
+        assert align_to_blocking_factor(b, 8, domain) == b
+
+    def test_grows_to_boundaries(self):
+        domain = Box.cell_centered(64, 64)
+        b = Box((9, 17), (14, 30))
+        a = align_to_blocking_factor(b, 8, domain)
+        assert a == Box((8, 16), (15, 31))
+        assert a.contains(b)
+
+    def test_clipped_to_domain(self):
+        domain = Box.cell_centered(16, 16)
+        b = Box((14, 14), (15, 15))
+        a = align_to_blocking_factor(b, 8, domain)
+        assert domain.contains(a)
+        assert a == Box((8, 8), (15, 15))
+
+
+class TestChop:
+    def test_no_chop_needed(self):
+        b = Box((0, 0), (31, 31))
+        assert chop_to_max_size(b, 32) == [b]
+
+    def test_chop_x(self):
+        b = Box((0, 0), (63, 15))
+        pieces = chop_to_max_size(b, 32)
+        assert len(pieces) == 2
+        assert sum(p.numpts for p in pieces) == b.numpts
+        for p in pieces:
+            assert p.longside <= 32
+
+    def test_chop_both_dims(self):
+        b = Box((0, 0), (99, 99))
+        pieces = chop_to_max_size(b, 25)
+        assert sum(p.numpts for p in pieces) == b.numpts
+        for p in pieces:
+            assert p.shape[0] <= 25 and p.shape[1] <= 25
+        # disjoint
+        for i in range(len(pieces)):
+            for j in range(i + 1, len(pieces)):
+                assert not pieces[i].intersects(pieces[j])
+
+
+class TestMakeLevelGrids:
+    def test_full_domain_one_grid(self):
+        domain = Box.cell_centered(64, 64)
+        ba = make_level_grids([domain], domain, GridParams(8, 64))
+        assert len(ba) == 1
+        assert ba.numpts == domain.numpts
+
+    def test_full_domain_chopped(self):
+        domain = Box.cell_centered(64, 64)
+        ba = make_level_grids([domain], domain, GridParams(8, 32))
+        assert len(ba) == 4
+        assert ba.numpts == domain.numpts
+        ba.validate_disjoint()
+
+    def test_overlapping_aligned_boxes_deduped(self):
+        domain = Box.cell_centered(64, 64)
+        # Two boxes that will overlap after alignment to 8.
+        clustered = [Box((1, 1), (9, 9)), Box((12, 1), (20, 9))]
+        ba = make_level_grids(clustered, domain, GridParams(8, 64))
+        ba.validate_disjoint()
+        ba.validate_inside(domain)
+        # Both inputs must be covered.
+        for b in clustered:
+            assert ba.covered_cells(b) == b.numpts
+
+    def test_boxes_aligned_to_blocking_factor_on_edges(self):
+        domain = Box.cell_centered(64, 64)
+        ba = make_level_grids([Box((3, 3), (12, 12))], domain, GridParams(8, 64))
+        # The union should cover exactly the aligned region (0..15)^2.
+        assert ba.numpts == 16 * 16
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            lambda lo0, lo1, s0, s1: Box((lo0, lo1), (min(lo0 + s0, 63), min(lo1 + s1, 63))),
+            st.integers(0, 60), st.integers(0, 60),
+            st.integers(0, 40), st.integers(0, 40),
+        ),
+        min_size=1, max_size=5,
+    ),
+    st.sampled_from([8, 16]),
+    st.sampled_from([16, 32, 64]),
+)
+def test_level_grids_invariants(clustered, bf, mgs):
+    if mgs < bf:
+        mgs = bf
+    domain = Box.cell_centered(64, 64)
+    ba = make_level_grids(clustered, domain, GridParams(bf, mgs))
+    ba.validate_disjoint()
+    ba.validate_inside(domain)
+    # every input cell covered
+    for b in clustered:
+        assert ba.covered_cells(b) == b.numpts
+    # every output box obeys max size
+    for b in ba:
+        assert b.shape[0] <= mgs and b.shape[1] <= mgs

@@ -1,0 +1,113 @@
+"""Tests for the analysis layer: load balance, comparisons, reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.compare import classify_linearity, compare_record_to_macsio
+from repro.analysis.loadbalance import (
+    active_fraction,
+    gini_coefficient,
+    imbalance_factor,
+    imbalance_report,
+)
+from repro.analysis.report import format_series, format_table, human_bytes
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert imbalance_factor([10, 10, 10, 10]) == 1.0
+        assert gini_coefficient([10, 10, 10, 10]) == pytest.approx(0.0, abs=1e-12)
+        assert active_fraction([10, 10]) == 1.0
+
+    def test_skewed(self):
+        loads = [100, 0, 0, 0]
+        assert imbalance_factor(loads) == 4.0
+        assert active_fraction(loads) == 0.25
+        assert gini_coefficient(loads) == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert imbalance_factor([0, 0]) == 1.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            imbalance_factor([])
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            active_fraction([])
+
+    def test_report_table(self):
+        rep = imbalance_report({0: [5, 5], 1: [10, 0]})
+        assert rep[0]["imbalance"] == 1.0
+        assert rep[1]["imbalance"] == 2.0
+        assert rep[1]["active_fraction"] == 0.5
+
+
+class TestLinearity:
+    def test_linear_series(self):
+        x = np.arange(1, 11, dtype=float)
+        assert classify_linearity(x, 3.0 * x) == "linear"
+
+    def test_nonlinear_series(self):
+        x = np.arange(1, 11, dtype=float)
+        assert classify_linearity(x, x**1.8) == "non-linear"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_linearity([1.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            classify_linearity([0.0, 0.0, 0.0], [1.0, 2.0, 3.0])
+
+
+class TestCompareToMacsio:
+    def test_matching_model(self):
+        from repro.campaign.records import RunRecord
+        from repro.macsio.params import MacsioParams
+
+        step_bytes = [1_000_000, 1_010_000, 1_020_100]
+        record = RunRecord(
+            name="toy", n_cell=(64, 64), max_level=1, max_step=2, plot_int=1,
+            cfl=0.5, nprocs=2, nnodes=1, engine="workload",
+            steps=[0, 1, 2], times=[0.0, 0.1, 0.2], step_bytes=step_bytes,
+            level_bytes={"0": step_bytes}, task_bytes_last=[500_000, 520_100],
+            cells_per_level_last=[4096], final_time=0.2,
+        )
+        # part whose realized output ~ 500_000/task: nominal = out/inflation
+        params = MacsioParams(num_dumps=3, part_size=500_000 / 2.5,
+                              dataset_growth=1.01)
+        row = compare_record_to_macsio(record, params)
+        assert row.mean_rel_error < 0.05
+        assert row.shape_corr > 0.95
+
+
+class TestReport:
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(1536) == "1.50 KiB"
+        assert human_bytes(2.5 * 1024**3) == "2.50 GiB"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        out = format_series([1.0, 2.0], {"y": [10.0, 20.0]}, x_label="x")
+        assert "x" in out and "y" in out
+        assert "20" in out
+
+    def test_format_series_length_check(self):
+        with pytest.raises(ValueError):
+            format_series([1.0], {"y": [1.0, 2.0]})
+
+
+@settings(max_examples=30)
+@given(st.lists(st.floats(0, 1e6), min_size=2, max_size=50))
+def test_gini_bounds_property(loads):
+    g = gini_coefficient(loads)
+    assert -1e-9 <= g <= 1.0

@@ -1,0 +1,143 @@
+"""Tests for the campaign layer: cases, Table-III sweep, runner, records."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.cases import (
+    CASE_REGISTRY,
+    case4,
+    case4_variants,
+    case27,
+    large_case,
+    small_solver_case,
+)
+from repro.campaign.records import load_records, record_from_result, save_records
+from repro.campaign.runner import run_campaign, run_case
+from repro.campaign.sweep import TABLE_III_RANGES, paper_sweep, sweep_cases
+
+
+class TestCases:
+    def test_case4_matches_paper(self):
+        """512^2 L0, 32 tasks, 2 Summit nodes."""
+        c = case4()
+        assert c.inputs.n_cell == (512, 512)
+        assert c.nprocs == 32
+        assert c.nnodes == 2
+        assert c.inputs.n_outputs == 21
+
+    def test_case27_matches_paper(self):
+        """1024^2 L0, 64 ranks, 4 levels, 5 output steps (after step 0)."""
+        c = case27()
+        assert c.inputs.n_cell == (1024, 1024)
+        assert c.nprocs == 64
+        assert c.inputs.max_level == 3
+        assert c.inputs.max_step // c.inputs.plot_int == 5
+
+    def test_large_case_matches_paper(self):
+        """8192^2 L0 on 64 Summit nodes."""
+        c = large_case()
+        assert c.inputs.n_cell == (8192, 8192)
+        assert c.nnodes == 64
+
+    def test_variants_grid(self):
+        vs = case4_variants()
+        assert len(vs) == 8  # 4 cfl x 2 level counts
+        cfls = {v.inputs.cfl for v in vs}
+        assert cfls == {0.3, 0.4, 0.5, 0.6}
+        assert {v.inputs.max_level for v in vs} == {1, 3}
+
+    def test_registry_contains_named_cases(self):
+        for name in ("case4", "case27", "large", "solver64"):
+            assert name in CASE_REGISTRY
+
+    def test_with_modifiers(self):
+        c = case4().with_cfl(0.6).with_max_level(1)
+        assert c.inputs.cfl == 0.6
+        assert c.inputs.max_level == 1
+        assert "cfl6" in c.name and "maxl2" in c.name
+
+    def test_engine_validation(self):
+        from repro.campaign.cases import Case
+        with pytest.raises(ValueError):
+            Case("x", case4().inputs, 1, 1, engine="magic")
+
+
+class TestSweep:
+    def test_paper_sweep_has_47_runs(self):
+        cases = paper_sweep()
+        assert len(cases) == 47
+        assert len({c.name for c in cases}) == 47
+
+    def test_ranges_cover_table_iii(self):
+        cases = paper_sweep()
+        meshes = {c.inputs.n_cell[0] for c in cases}
+        assert min(meshes) == 32
+        assert max(meshes) == 131_072
+        nprocs = {c.nprocs for c in cases}
+        assert min(nprocs) == 1 and max(nprocs) == 1024
+        nodes = {c.nnodes for c in cases}
+        assert max(nodes) == 512
+        cfls = {c.inputs.cfl for c in cases}
+        assert min(cfls) >= 0.3 and max(cfls) <= 0.6
+        plot_ints = {c.inputs.plot_int for c in cases}
+        assert 1 in plot_ints and 20 in plot_ints
+
+    def test_table_iii_constants(self):
+        assert TABLE_III_RANGES["nprocs"] == (1, 1024)
+        assert TABLE_III_RANGES["nodes"] == (1, 512)
+        assert TABLE_III_RANGES["castro.cfl"] == (0.3, 0.6)
+
+    def test_custom_sweep(self):
+        cases = sweep_cases(mesh_ladder=[(64, 2, 1)], cfls=(0.5,), max_levels=(1,))
+        assert len(cases) == 1
+        assert cases[0].inputs.n_cell == (64, 64)
+
+
+class TestRunnerRecords:
+    @pytest.fixture(scope="class")
+    def small_record(self):
+        case = sweep_cases(mesh_ladder=[(128, 4, 1)], cfls=(0.5,), max_levels=(2,),
+                           max_step=20, plot_int=10)[0]
+        result = run_case(case)
+        return record_from_result(case.name, result, case.nnodes, case.engine)
+
+    def test_record_fields(self, small_record):
+        r = small_record
+        assert r.ncells_l0 == 128 * 128
+        assert len(r.steps) == 3  # 0, 10, 20
+        assert len(r.step_bytes) == 3
+        assert len(r.task_bytes_last) == 4
+        assert r.final_time > 0
+        assert "0" in r.level_bytes
+
+    def test_x_series_eq1(self, small_record):
+        x = small_record.x_series()
+        assert list(x) == [16384.0, 32768.0, 49152.0]
+
+    def test_cumulative_monotone(self, small_record):
+        cum = small_record.cumulative_bytes()
+        assert (np.diff(cum) > 0).all()
+
+    def test_json_roundtrip(self, small_record, tmp_path):
+        path = str(tmp_path / "records.json")
+        save_records([small_record], path)
+        loaded = load_records(path)
+        assert len(loaded) == 1
+        assert loaded[0] == small_record
+
+    def test_solver_engine_dispatch(self):
+        case = small_solver_case(n=32, max_level=1)
+        from dataclasses import replace
+        case = replace(case, inputs=replace(case.inputs, max_step=4, plot_int=2))
+        result = run_case(case)
+        assert result.n_outputs == 3
+
+    def test_run_campaign_collects_all(self):
+        cases = sweep_cases(mesh_ladder=[(64, 2, 1), (128, 4, 1)],
+                            cfls=(0.5,), max_levels=(1,), max_step=10, plot_int=5)
+        seen = []
+        campaign = run_campaign(cases, progress=lambda n, t: seen.append(n))
+        assert len(campaign.records) == 2
+        assert seen == [c.name for c in cases]
+        assert set(campaign.seconds) == set(seen)
+        assert campaign.by_name()[cases[0].name].n_cell == (64, 64)

@@ -1,0 +1,92 @@
+"""Tests for the command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import campaign_main, macsio_main, model_main, sedov_main
+
+
+class TestSedovMain:
+    def test_solver_case_runs(self, capsys):
+        rc = sedov_main(["--case", "solver64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "solver64" in out
+        assert "cumulative" in out
+        assert "total output" in out
+
+    def test_unknown_case(self):
+        with pytest.raises(SystemExit):
+            sedov_main(["--case", "doesnotexist"])
+
+    def test_inputs_file_override(self, tmp_path, capsys):
+        inputs = tmp_path / "inputs"
+        inputs.write_text(
+            "max_step = 4\namr.n_cell = 64 64\namr.max_level = 1\n"
+            "amr.plot_int = 2\ncastro.cfl = 0.5\nstop_time = 1e9\n"
+            "amr.max_grid_size = 32\n"
+        )
+        rc = sedov_main(["--case", "solver64", "--inputs", str(inputs)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "64x64" in out
+
+    def test_outdir_writes_files(self, tmp_path, capsys):
+        rc = sedov_main(["--case", "solver64", "--outdir", str(tmp_path / "o")])
+        assert rc == 0
+        assert (tmp_path / "o").exists()
+
+
+class TestMacsioMain:
+    def test_listing1_invocation(self, capsys):
+        rc = macsio_main([
+            "-n", "4",
+            "--interface", "miftmpl",
+            "--parallel_file_mode", "MIF", "4",
+            "--num_dumps", "3",
+            "--part_size", "10000",
+            "--avg_num_parts", "1",
+            "--vars_per_part", "1",
+            "--dataset_growth", "1.01",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 dumps" in out
+        assert out.count("\n") >= 4
+
+    def test_bad_flag(self, capsys):
+        rc = macsio_main(["--nonsense", "1"])
+        assert rc == 2
+
+    def test_timing_mode(self, capsys):
+        rc = macsio_main([
+            "-n", "2", "--num_dumps", "2", "--part_size", "1000", "--timing",
+        ])
+        assert rc == 0
+        assert "io_fraction" in capsys.readouterr().out
+
+    def test_help(self, capsys):
+        assert macsio_main(["--help"]) == 0
+
+
+class TestModelMain:
+    def test_calibrates_case4(self, capsys):
+        rc = model_main(["--case", "case4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dataset_growth" in out
+        assert "verification" in out
+        assert "macsio argv" in out
+
+
+class TestCampaignMain:
+    def test_limited_campaign(self, tmp_path, capsys):
+        out_path = str(tmp_path / "recs.json")
+        rc = campaign_main(["--out", out_path, "--limit", "3"])
+        assert rc == 0
+        with open(out_path) as fh:
+            records = json.load(fh)
+        assert len(records) == 3
+        out = capsys.readouterr().out
+        assert "campaign: 3 runs" in out

@@ -1,0 +1,89 @@
+"""End-to-end calibration pipeline tests (the paper's headline loop)."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.cases import case4
+from repro.campaign.runner import run_case
+from repro.core.calibration import calibrate_from_result, verify_proxy
+from repro.core.growth import GROWTH_RANGE_PAPER
+from repro.core.part_size import F_RANGE_PAPER
+
+
+@pytest.fixture(scope="module")
+def case4_report():
+    result = run_case(case4())  # cfl=0.4, 4 levels — the paper's pivot
+    return calibrate_from_result(result)
+
+
+class TestCalibration:
+    def test_f_in_paper_band(self, case4_report):
+        """Eq. (3): f ~ 23-25 (we allow ~10% beyond the band: our
+        substrate is a simulator, not Summit)."""
+        lo, hi = F_RANGE_PAPER
+        assert lo * 0.9 <= case4_report.f <= hi * 1.1
+
+    def test_growth_in_paper_band(self, case4_report):
+        """dataset_growth ~ 1.0 - 1.02 for the pivot case."""
+        lo, hi = GROWTH_RANGE_PAPER
+        assert lo <= case4_report.growth.growth <= hi * 1.01
+
+    def test_macsio_params_form(self, case4_report):
+        p = case4_report.macsio_params
+        assert p.parallel_file_mode == "MIF"
+        assert p.file_count == 32
+        assert p.num_dumps == case4_report.series.n_outputs
+
+    def test_summary_text(self, case4_report):
+        s = case4_report.summary()
+        assert "512x512" in s
+        assert "dataset_growth" in s
+
+    def test_series_positive_increasing_cumulative(self, case4_report):
+        y = case4_report.series.y
+        assert (np.diff(y) > 0).all()
+
+
+class TestVerification:
+    def test_proxy_tracks_simulation(self, case4_report):
+        """Fig. 10: the calibrated proxy must track per-step outputs."""
+        check = verify_proxy(case4_report)
+        assert check.mean_rel_error < 0.10
+        assert check.final_cumulative_rel_error < 0.05
+        assert check.shape_corr > 0.9
+
+    def test_first_dump_anchored(self, case4_report):
+        check = verify_proxy(case4_report)
+        first_err = abs(
+            check.macsio_step_bytes[0] - check.observed_step_bytes[0]
+        ) / check.observed_step_bytes[0]
+        assert first_err < 0.02  # Eq. (3) anchors dump 0
+
+
+class TestCflLevelTrends:
+    """The paper's qualitative law: growth rises with cfl and levels."""
+
+    @pytest.fixture(scope="class")
+    def growth_grid(self):
+        out = {}
+        for max_level in (1, 3):
+            for cfl in (0.3, 0.6):
+                rep = calibrate_from_result(
+                    run_case(case4(cfl=cfl, max_level=max_level))
+                )
+                out[(cfl, max_level)] = rep.growth.growth
+        return out
+
+    def test_monotone_in_cfl(self, growth_grid):
+        assert growth_grid[(0.6, 1)] > growth_grid[(0.3, 1)]
+        assert growth_grid[(0.6, 3)] > growth_grid[(0.3, 3)]
+
+    def test_monotone_in_levels(self, growth_grid):
+        assert growth_grid[(0.3, 3)] > growth_grid[(0.3, 1)]
+        assert growth_grid[(0.6, 3)] > growth_grid[(0.6, 1)]
+
+    def test_levels_dominate_cfl(self, growth_grid):
+        """Fig. 6: 'the number of AMR levels has a larger effect' than CFL."""
+        cfl_effect = growth_grid[(0.6, 1)] - growth_grid[(0.3, 1)]
+        level_effect = growth_grid[(0.3, 3)] - growth_grid[(0.3, 1)]
+        assert level_effect > cfl_effect

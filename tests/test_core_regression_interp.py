@@ -1,0 +1,130 @@
+"""Tests for linear regression and CFL/level interpolation of growth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.growth import GROWTH_RANGE_PAPER
+from repro.core.interpolation import (
+    GrowthTable,
+    interpolate_growth,
+    paper_guidance_growth,
+)
+from repro.core.regression import CaseFeatures, design_row, fit_linear_model
+
+
+class TestRegression:
+    def _cases(self):
+        return [
+            CaseFeatures(cfl=c, max_level=l, ncells=n, nprocs=p)
+            for c, l, n, p in [
+                (0.3, 1, 512**2, 32),
+                (0.6, 1, 512**2, 32),
+                (0.3, 3, 512**2, 32),
+                (0.6, 3, 512**2, 32),
+                (0.5, 2, 1024**2, 64),
+            ]
+        ]
+
+    def test_design_row(self):
+        row = design_row(CaseFeatures(0.5, 3, 10**6, 100))
+        assert row[0] == 1.0
+        assert row[1] == 0.5
+        assert row[2] == 3.0
+        assert row[3] == pytest.approx(6.0)
+        assert row[4] == pytest.approx(2.0)
+
+    def test_fit_recovers_linear_target(self):
+        cases = self._cases()
+        coef_true = np.array([1.0, 0.02, 0.004, 0.0, 0.0])
+        targets = [float(design_row(c) @ coef_true) for c in cases]
+        model = fit_linear_model(cases, targets)
+        assert model.residual_rms < 1e-10
+        probe = CaseFeatures(0.45, 2, 512**2, 32)
+        assert model.predict(probe) == pytest.approx(float(design_row(probe) @ coef_true))
+
+    def test_summary_text(self):
+        cases = self._cases()
+        model = fit_linear_model(cases, [1.0, 1.01, 1.01, 1.02, 1.015])
+        s = model.summary()
+        assert "cfl" in s and "max_level" in s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear_model(self._cases(), [1.0])
+        with pytest.raises(ValueError):
+            fit_linear_model(self._cases()[:1], [1.0])
+        with pytest.raises(ValueError):
+            CaseFeatures(0.5, 3, 0, 1)
+
+
+class TestPaperGuidance:
+    def test_range_endpoints(self):
+        lo, hi = GROWTH_RANGE_PAPER
+        assert paper_guidance_growth(0.3, 2) == pytest.approx(lo)
+        assert paper_guidance_growth(0.6, 4) == pytest.approx(hi)
+
+    def test_monotone_in_cfl_and_levels(self):
+        """Appendix A: 'the greater the cfl and number of levels, the
+        greater the data_growth'."""
+        assert paper_guidance_growth(0.6, 3) > paper_guidance_growth(0.3, 3)
+        assert paper_guidance_growth(0.5, 4) > paper_guidance_growth(0.5, 2)
+
+    def test_clamped_outside_study_range(self):
+        assert paper_guidance_growth(0.9, 8) == pytest.approx(GROWTH_RANGE_PAPER[1])
+        assert paper_guidance_growth(0.1, 0) == pytest.approx(GROWTH_RANGE_PAPER[0])
+
+
+class TestGrowthTable:
+    def _table(self):
+        t = GrowthTable()
+        t.add(0.3, 1, 1.003)
+        t.add(0.6, 1, 1.008)
+        t.add(0.3, 3, 1.014)
+        t.add(0.6, 3, 1.020)
+        return t
+
+    def test_anchors_recovered(self):
+        t = self._table()
+        assert interpolate_growth(t, 0.3, 1, clamp=False) == pytest.approx(1.003)
+        assert interpolate_growth(t, 0.6, 3, clamp=False) == pytest.approx(1.020)
+
+    def test_bilinear_midpoint(self):
+        t = self._table()
+        g = interpolate_growth(t, 0.45, 2, clamp=False)
+        assert g == pytest.approx((1.003 + 1.008 + 1.014 + 1.020) / 4, abs=1e-9)
+
+    def test_edge_clamping(self):
+        t = self._table()
+        assert interpolate_growth(t, 0.1, 1, clamp=False) == pytest.approx(1.003)
+        assert interpolate_growth(t, 0.9, 3, clamp=False) == pytest.approx(1.020)
+
+    def test_empty_table_falls_back(self):
+        g = interpolate_growth(GrowthTable(), 0.5, 3)
+        assert g == pytest.approx(paper_guidance_growth(0.5, 3))
+
+    def test_clamp_to_paper_band(self):
+        t = GrowthTable()
+        t.add(0.3, 2, 1.5)  # absurd anchor
+        t.add(0.6, 2, 1.6)
+        g = interpolate_growth(t, 0.5, 2, clamp=True)
+        assert g <= GROWTH_RANGE_PAPER[1] * 1.01 + 1e-12
+
+    def test_invalid_growth(self):
+        with pytest.raises(ValueError):
+            GrowthTable().add(0.5, 2, -1.0)
+
+    def test_single_level_table(self):
+        t = GrowthTable()
+        t.add(0.3, 3, 1.01)
+        t.add(0.6, 3, 1.02)
+        assert interpolate_growth(t, 0.45, 1, clamp=False) == pytest.approx(1.015)
+
+
+@settings(max_examples=30)
+@given(st.floats(0.3, 0.6), st.integers(2, 4))
+def test_guidance_always_in_band(cfl, lev):
+    lo, hi = GROWTH_RANGE_PAPER
+    g = paper_guidance_growth(cfl, lev)
+    assert lo <= g <= hi

@@ -1,0 +1,77 @@
+"""Tests for the Eq. (1)/(2) model variables."""
+
+import numpy as np
+import pytest
+
+from repro.core.variables import build_series, per_level_series, per_task_series
+from repro.iosim.darshan import IOTrace
+
+
+@pytest.fixture
+def trace():
+    tr = IOTrace()
+    # two dumps, two levels, two ranks, plus metadata
+    for step, scale in ((0, 1), (10, 2)):
+        tr.record(step, -1, 0, 10, f"p{step}/Header", kind="metadata")
+        tr.record(step, 0, 0, 100 * scale, f"p{step}/L0/r0")
+        tr.record(step, 0, 1, 100 * scale, f"p{step}/L0/r1")
+        tr.record(step, 1, 0, 50 * scale, f"p{step}/L1/r0")
+    return tr
+
+
+class TestBuildSeries:
+    def test_eq1_x_values(self, trace):
+        s = build_series(trace, ncells=1024)
+        # output_counter = 1, 2 -> x = counter * ncells
+        assert list(s.x) == [1024.0, 2048.0]
+        assert list(s.steps) == [0, 10]
+
+    def test_eq2_y_values_with_metadata(self, trace):
+        s = build_series(trace, ncells=1024, include_metadata=True)
+        assert list(s.y_step) == [260.0, 510.0]
+        assert list(s.y) == [260.0, 770.0]  # cumulative
+
+    def test_without_metadata(self, trace):
+        s = build_series(trace, ncells=1024, include_metadata=False)
+        assert list(s.y_step) == [250.0, 500.0]
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            build_series(IOTrace(), 100)
+
+    def test_final_cumulative(self, trace):
+        s = build_series(trace, 1)
+        assert s.final_cumulative() == 770.0
+
+
+class TestPerLevel:
+    def test_levels_split(self, trace):
+        per = per_level_series(trace, ncells=1024)
+        assert set(per) == {0, 1}
+        assert list(per[0].y_step) == [200.0, 400.0]
+        assert list(per[1].y_step) == [50.0, 100.0]
+
+    def test_missing_level_zero_filled(self):
+        tr = IOTrace()
+        tr.record(0, 0, 0, 10, "a")
+        tr.record(5, 0, 0, 10, "b")
+        tr.record(5, 1, 0, 99, "c")  # level 1 appears only at step 5
+        per = per_level_series(tr, 100)
+        assert list(per[1].y_step) == [0.0, 99.0]
+        assert len(per[1].x) == 2
+
+
+class TestPerTask:
+    def test_vector_per_step(self, trace):
+        per = per_task_series(trace, nprocs=2)
+        assert list(per[0]) == [150, 100]
+        assert list(per[10]) == [300, 200]
+
+    def test_level_filter(self, trace):
+        per = per_task_series(trace, nprocs=2, level=1)
+        assert list(per[0]) == [50, 0]
+
+    def test_metadata_excluded(self, trace):
+        per = per_task_series(trace, nprocs=2)
+        # rank 0 data at step 0 is 150 (not 160 with Header)
+        assert per[0][0] == 150

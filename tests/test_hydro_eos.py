@@ -1,0 +1,62 @@
+"""Tests for the gamma-law EOS."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hydro.eos import GammaLawEOS
+
+
+@pytest.fixture
+def eos():
+    return GammaLawEOS(gamma=1.4)
+
+
+class TestPressure:
+    def test_ideal_gas_relation(self, eos):
+        rho = np.array([1.0, 2.0])
+        e = np.array([2.5, 1.0])
+        p = eos.pressure(rho, e)
+        assert p == pytest.approx([1.0, 0.8])
+
+    def test_pressure_floor(self, eos):
+        p = eos.pressure(np.array([1.0]), np.array([-5.0]))
+        assert p[0] == eos.small_pressure
+
+    def test_roundtrip_internal_energy(self, eos):
+        rho = np.array([0.5, 3.0])
+        p = np.array([2.0, 0.1])
+        assert eos.pressure(rho, eos.internal_energy(rho, p)) == pytest.approx(p)
+
+
+class TestSoundSpeed:
+    def test_reference_value(self, eos):
+        c = eos.sound_speed(np.array([1.0]), np.array([1.0]))
+        assert c[0] == pytest.approx(np.sqrt(1.4))
+
+    def test_guards_vacuum(self, eos):
+        c = eos.sound_speed(np.array([0.0]), np.array([0.0]))
+        assert np.isfinite(c[0]) and c[0] > 0
+
+
+class TestTotalEnergy:
+    def test_at_rest(self, eos):
+        E = eos.total_energy_density(np.array([1.0]), np.array([0.0]), np.array([0.0]), np.array([1.0]))
+        assert E[0] == pytest.approx(2.5)  # p/(gamma-1)
+
+    def test_kinetic_term(self, eos):
+        E = eos.total_energy_density(np.array([2.0]), np.array([3.0]), np.array([4.0]), np.array([1.0]))
+        assert E[0] == pytest.approx(2.5 + 0.5 * 2 * 25)
+
+
+@given(
+    st.floats(0.1, 100.0), st.floats(1e-6, 100.0), st.floats(1.1, 5.0 / 3.0)
+)
+def test_sound_speed_positive_and_scales(rho, p, gamma):
+    eos = GammaLawEOS(gamma=gamma)
+    c = float(eos.sound_speed(np.asarray(rho), np.asarray(p)))
+    assert c > 0
+    # c scales as sqrt(p) at fixed rho
+    c2 = float(eos.sound_speed(np.asarray(rho), np.asarray(4 * p)))
+    assert c2 == pytest.approx(2 * c, rel=1e-12)

@@ -1,0 +1,142 @@
+"""Full-pipeline integration tests: the Fig. 1 methodology end to end.
+
+AMReX-Castro run -> collect (step, level, task) sizes -> Eq. 1-3 model
+-> MACSio parameters -> proxy run -> comparison, plus the regression
+across cases ("predictive I/O sizes" from the conclusions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_record_to_macsio
+from repro.analysis.loadbalance import imbalance_factor
+from repro.campaign.cases import case4, case27
+from repro.campaign.records import record_from_result
+from repro.campaign.runner import run_case
+from repro.core.calibration import calibrate_from_result, verify_proxy
+from repro.core.interpolation import GrowthTable, interpolate_growth
+from repro.core.regression import CaseFeatures, fit_linear_model
+from repro.core.translator import ProxyModel, translate
+from repro.core.variables import per_level_series, per_task_series
+from repro.iosim.filesystem import VirtualFileSystem
+from repro.macsio.dump import run_macsio
+
+
+class TestFigure1Flow:
+    """AMReX inputs -> outputs = f(inputs); MACSio inputs = g(inputs)."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        case = case4()
+        result = run_case(case)
+        report = calibrate_from_result(result)
+        check = verify_proxy(report)
+        return case, result, report, check
+
+    def test_sim_produces_hierarchical_sizes(self, pipeline):
+        _, result, _, _ = pipeline
+        table = result.trace.bytes_step_level_rank()
+        steps = {k[0] for k in table}
+        levels = {k[1] for k in table if k[1] >= 0}  # -1 = dump metadata
+        ranks = {k[2] for k in table}
+        assert len(steps) == 21
+        assert levels == {0, 1, 2, 3}
+        assert len(ranks) > 1
+
+    def test_model_translates_to_macsio(self, pipeline):
+        _, _, report, _ = pipeline
+        p = report.macsio_params
+        assert p.num_dumps == 21
+        assert p.file_count == 32
+
+    def test_proxy_reproduces_outputs(self, pipeline):
+        _, _, _, check = pipeline
+        assert check.mean_rel_error < 0.10
+        assert check.shape_corr > 0.9
+
+    def test_per_level_decomposition(self, pipeline):
+        """Fig. 7 shape: L0 flat, finer levels grow."""
+        _, result, _, _ = pipeline
+        per = per_level_series(result.trace, result.inputs.ncells_l0)
+        l0 = per[0].y_step
+        assert np.allclose(l0, l0[0])
+        finest = per[max(per)].y_step
+        assert finest[-1] > finest[0]
+
+    def test_per_task_imbalance_at_refined_levels(self, pipeline):
+        """Fig. 8: refined-level loads are unbalanced across ranks."""
+        _, result, _, _ = pipeline
+        last = max(r.step for r in result.trace)
+        fine_level = max(result.trace.levels())
+        per = per_task_series(result.trace, result.nprocs, level=fine_level)
+        imb = imbalance_factor(per[last])
+        assert imb > 1.2  # visibly unbalanced
+
+    def test_record_comparison_helper(self, pipeline):
+        case, result, report, _ = pipeline
+        record = record_from_result(case.name, result, case.nnodes, case.engine)
+        row = compare_record_to_macsio(record, report.macsio_params)
+        assert row.mean_rel_error < 0.10
+
+
+class TestPredictiveModel:
+    """Regress growth over (cfl, levels) and predict an unseen case."""
+
+    def test_regression_predicts_unseen_cfl(self):
+        anchors = []
+        targets = []
+        table = GrowthTable()
+        for max_level in (1, 3):
+            for cfl in (0.3, 0.6):
+                rep = calibrate_from_result(
+                    run_case(case4(cfl=cfl, max_level=max_level))
+                )
+                anchors.append(CaseFeatures(cfl, max_level, 512**2, 32))
+                targets.append(rep.growth.growth)
+                table.add(cfl, max_level, rep.growth.growth)
+        model = fit_linear_model(anchors, targets)
+        # truth at an interior point
+        rep_mid = calibrate_from_result(run_case(case4(cfl=0.45, max_level=3)))
+        pred_reg = model.predict(CaseFeatures(0.45, 3, 512**2, 32))
+        pred_int = interpolate_growth(table, 0.45, 3, clamp=False)
+        truth = rep_mid.growth.growth
+        assert pred_reg == pytest.approx(truth, abs=5e-3)
+        assert pred_int == pytest.approx(truth, abs=5e-3)
+
+    def test_predicted_model_drives_usable_proxy(self):
+        """Appendix-A practitioner flow: guidance growth, Eq.-3 f, no
+        per-case calibration — proxy should still land within ~25%."""
+        case = case4(cfl=0.5, max_level=3)
+        result = run_case(case)
+        report = calibrate_from_result(result)
+        # Discard the fitted growth; use the guidance value instead.
+        from repro.core.interpolation import paper_guidance_growth
+
+        guided = ProxyModel(
+            f=report.f,
+            dataset_growth=paper_guidance_growth(0.5, 4),
+            meta_size=report.model.meta_size,
+        )
+        params = translate(case.inputs, case.nprocs, guided)
+        run = run_macsio(params, case.nprocs)
+        obs = report.series.y_step
+        model_bytes = np.asarray(run.bytes_per_dump, dtype=float)[: len(obs)]
+        rel = np.abs(model_bytes - obs) / obs
+        assert rel.mean() < 0.25
+
+
+class TestCase27Imbalance:
+    def test_fig8_configuration(self):
+        """1024^2, 64 ranks, 4 levels: per-task output is volatile at
+        refined levels — the reason the paper limits MACSio modeling to
+        the per-level granularity."""
+        result = run_case(case27())
+        fine = max(result.trace.levels())
+        last = max(ev.step for ev in result.outputs)
+        per = per_task_series(result.trace, 64, level=fine)[last]
+        assert imbalance_factor(per) > 1.5
+        # but the per-step total is smooth across dumps:
+        steps = sorted(result.trace.bytes_per_step())
+        totals = np.array([result.trace.bytes_per_step()[s] for s in steps], float)
+        ratios = totals[1:] / totals[:-1]
+        assert (ratios < 1.6).all() and (ratios > 0.9).all()

@@ -1,0 +1,132 @@
+"""Tests for the virtual and real filesystem backends."""
+
+import os
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.iosim.filesystem import RealFileSystem, VirtualFileSystem, format_tree
+
+
+@pytest.fixture(params=["virtual", "real"])
+def fs(request, tmp_path):
+    if request.param == "virtual":
+        return VirtualFileSystem(keep_content=True)
+    return RealFileSystem(str(tmp_path / "root"))
+
+
+class TestCommonBehaviour:
+    def test_write_and_size(self, fs):
+        n = fs.write_bytes("a/b/data.bin", b"hello")
+        assert n == 5
+        assert fs.size("a/b/data.bin") == 5
+        assert fs.exists("a/b/data.bin")
+
+    def test_write_text(self, fs):
+        fs.write_text("notes.txt", "héllo")
+        assert fs.size("notes.txt") == len("héllo".encode())
+
+    def test_write_size_records_without_content(self, fs):
+        fs.write_size("big.dat", 10_000)
+        assert fs.size("big.dat") == 10_000
+
+    def test_append(self, fs):
+        fs.write_bytes("log", b"ab")
+        fs.append_bytes("log", b"cde")
+        assert fs.size("log") == 5
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.size("nope")
+
+    def test_overwrite(self, fs):
+        fs.write_bytes("f", b"xxxx")
+        fs.write_bytes("f", b"y")
+        assert fs.size("f") == 1
+
+    def test_files_listing_sorted_and_prefixed(self, fs):
+        fs.write_bytes("d1/a", b"1")
+        fs.write_bytes("d1/b", b"22")
+        fs.write_bytes("d2/c", b"333")
+        assert fs.files("d1") == ["d1/a", "d1/b"]
+        assert fs.files() == ["d1/a", "d1/b", "d2/c"]
+
+    def test_total_size_and_count(self, fs):
+        fs.write_bytes("x/a", b"12")
+        fs.write_bytes("x/b", b"345")
+        assert fs.total_size("x") == 5
+        assert fs.file_count("x") == 2
+        assert fs.sizes("x") == {"x/a": 2, "x/b": 3}
+
+    def test_read_back(self, fs):
+        fs.write_bytes("raw", b"\x01\x02\x03")
+        assert fs.read_bytes("raw") == b"\x01\x02\x03"
+
+    def test_mkdirs(self, fs):
+        fs.mkdirs("deep/nested/dir")
+        assert fs.exists("deep/nested/dir")
+
+
+class TestVirtualSpecific:
+    def test_no_content_mode_rejects_read(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("f", b"abc")
+        with pytest.raises(RuntimeError):
+            fs.read_bytes("f")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualFileSystem().write_size("f", -1)
+
+    def test_path_normalization(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("./a//b/c", b"z")
+        assert fs.exists("a/b/c")
+        assert fs.files() == ["a/b/c"]
+
+    def test_prefix_no_false_match(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("ab/file", b"1")
+        fs.write_bytes("abc/file", b"2")
+        assert fs.files("ab") == ["ab/file"]
+
+
+class TestRealSpecific:
+    def test_write_size_truncates(self, tmp_path):
+        fs = RealFileSystem(str(tmp_path))
+        fs.write_size("sparse.bin", 4096)
+        assert os.path.getsize(tmp_path / "sparse.bin") == 4096
+
+
+class TestFormatTree:
+    def test_renders_hierarchy(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("plt00000/Header", b"h" * 10)
+        fs.write_bytes("plt00000/Level_0/Cell_D_00000", b"d" * 100)
+        out = format_tree(fs)
+        assert "plt00000/" in out
+        assert "Header  [10 B]" in out
+        assert "Cell_D_00000  [100 B]" in out
+
+    def test_truncation(self):
+        fs = VirtualFileSystem()
+        for i in range(30):
+            fs.write_bytes(f"f{i:03d}", b"x")
+        out = format_tree(fs, max_entries=10)
+        assert "more files" in out
+
+
+@given(st.dictionaries(
+    st.from_regex(r"[a-z]{1,6}(/[a-z]{1,6}){0,3}", fullmatch=True),
+    st.integers(0, 10_000),
+    min_size=1, max_size=20,
+))
+def test_virtual_fs_size_accounting_property(entries):
+    fs = VirtualFileSystem()
+    for path, size in entries.items():
+        fs.write_size(path, size)
+    # Paths may alias after normalization; compare against the
+    # normalized dict.
+    assert fs.total_size() == sum(fs.size(p) for p in fs.files())
+    assert fs.file_count() == len(fs.files())

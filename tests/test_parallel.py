@@ -1,0 +1,121 @@
+"""Tests for the simulated MPI substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.comm import RankView, SimComm
+from repro.parallel.topology import JobTopology
+
+
+class TestSimComm:
+    def test_size(self):
+        assert SimComm(8).size == 8
+        assert SimComm(8).Get_size() == 8
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+    def test_collectives(self):
+        comm = SimComm(4)
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert comm.allreduce_sum(vals) == 10.0
+        assert comm.allreduce_max(vals) == 4.0
+        assert comm.allreduce_min(vals) == 1.0
+        assert comm.gather(vals) == vals
+
+    def test_collective_length_checked(self):
+        comm = SimComm(4)
+        with pytest.raises(ValueError):
+            comm.allreduce_sum([1.0, 2.0])
+
+    def test_bcast(self):
+        comm = SimComm(3)
+        out = comm.bcast({"a": 1})
+        assert len(out) == 3
+        assert all(o is out[0] for o in out)
+
+
+class TestVirtualClock:
+    def test_advance_and_barrier(self):
+        comm = SimComm(3)
+        comm.advance(0, 1.0)
+        comm.advance(1, 5.0)
+        t = comm.barrier()
+        assert t == 5.0
+        assert (comm.clocks() == 5.0).all()
+
+    def test_advance_all(self):
+        comm = SimComm(2)
+        comm.advance_all([1.0, 2.0])
+        assert comm.clock(0) == 1.0
+        assert comm.clock(1) == 2.0
+
+    def test_negative_time_rejected(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.advance(0, -1.0)
+        with pytest.raises(ValueError):
+            comm.advance_all([-1.0, 0.0])
+
+    def test_reset(self):
+        comm = SimComm(2)
+        comm.advance(0, 3.0)
+        comm.reset_clocks()
+        assert (comm.clocks() == 0.0).all()
+
+
+class TestRankView:
+    def test_valid(self):
+        comm = SimComm(4)
+        rv = RankView(comm, 3)
+        assert rv.size == 4
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            RankView(SimComm(2), 2)
+
+
+class TestTopology:
+    def test_block_layout(self):
+        topo = JobTopology(nprocs=8, nnodes=2)
+        assert topo.ranks_per_node == 4
+        assert topo.node_of_rank(0) == 0
+        assert topo.node_of_rank(3) == 0
+        assert topo.node_of_rank(4) == 1
+        assert topo.ranks_on_node(1) == [4, 5, 6, 7]
+
+    def test_uneven_split(self):
+        topo = JobTopology(nprocs=7, nnodes=3)
+        assert topo.ranks_per_node == 3
+        assert topo.ranks_on_node(2) == [6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobTopology(nprocs=2, nnodes=4)
+        with pytest.raises(ValueError):
+            JobTopology(nprocs=0, nnodes=1)
+        topo = JobTopology(4, 2)
+        with pytest.raises(ValueError):
+            topo.node_of_rank(4)
+
+    def test_summit_default_paper_pairing(self):
+        """case4 pairing: 32 tasks on 2 nodes (16/node)."""
+        topo = JobTopology.summit_default(32, ranks_per_node=16)
+        assert topo.nnodes == 2
+
+
+@given(st.integers(1, 64), st.integers(1, 16))
+def test_every_rank_on_exactly_one_node(nprocs, nnodes):
+    if nnodes > nprocs:
+        nnodes = nprocs
+    topo = JobTopology(nprocs, nnodes)
+    seen = []
+    for node in range(nnodes):
+        try:
+            seen.extend(topo.ranks_on_node(node))
+        except ValueError:
+            pass  # trailing empty node allowed by ceil split
+    assert sorted(seen) == list(range(nprocs))

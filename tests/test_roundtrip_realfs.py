@@ -1,0 +1,102 @@
+"""End-to-end round trips through the *real* filesystem backend.
+
+The size-accounting (virtual) and data (real bytes on disk) paths must
+agree — this is what lets the campaign trust virtual-FS numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.cases import small_solver_case
+from repro.campaign.runner import run_case
+from repro.iosim.filesystem import RealFileSystem, VirtualFileSystem
+from repro.macsio.dump import run_macsio
+from repro.macsio.params import MacsioParams
+from repro.plotfile.fab import decode_fab_header
+from repro.plotfile.reader import inspect_plotfile, list_plotfiles
+
+
+class TestSolverRealFS:
+    @pytest.fixture(scope="class")
+    def both_runs(self, tmp_path_factory):
+        from dataclasses import replace
+
+        case = small_solver_case(n=64, max_level=1)
+        case = replace(case, inputs=replace(case.inputs, max_step=6, plot_int=3))
+        root = tmp_path_factory.mktemp("plots")
+        real = RealFileSystem(str(root))
+        virt = VirtualFileSystem()
+        r_real = run_case(case, fs=real)
+        r_virt = run_case(case, fs=virt)
+        return case, real, virt, r_real, r_virt
+
+    def test_same_file_sets(self, both_runs):
+        _, real, virt, _, _ = both_runs
+        assert real.files() == virt.files()
+
+    def test_same_sizes_everywhere(self, both_runs):
+        _, real, virt, _, _ = both_runs
+        for p in virt.files():
+            assert real.size(p) == virt.size(p), p
+
+    def test_inspect_agrees(self, both_runs):
+        case, real, virt, _, _ = both_runs
+        plots = list_plotfiles(real, case.inputs.plot_file)
+        assert plots == list_plotfiles(virt, case.inputs.plot_file)
+        for _, pdir in plots:
+            ir = inspect_plotfile(real, pdir)
+            iv = inspect_plotfile(virt, pdir)
+            assert ir.total_bytes == iv.total_bytes
+            assert ir.bytes_per_level() == iv.bytes_per_level()
+
+    def test_traces_identical(self, both_runs):
+        _, _, _, r_real, r_virt = both_runs
+        assert r_real.trace.bytes_step_level_rank() == \
+            r_virt.trace.bytes_step_level_rank()
+
+
+class TestDataModeOnDisk:
+    def test_written_fab_headers_parse(self, tmp_path):
+        """A data-mode plotfile's Cell_D content starts with a valid
+        FAB header whose box matches the Cell_H box list."""
+        from repro.amr.box import Box
+        from repro.amr.boxarray import BoxArray
+        from repro.amr.distribution import round_robin_map
+        from repro.amr.geometry import Geometry
+        from repro.amr.multifab import MultiFab
+        from repro.hydro.eos import GammaLawEOS
+        from repro.hydro.state import NCOMP
+        from repro.plotfile.writer import PlotfileSpec, write_plotfile
+
+        fs = RealFileSystem(str(tmp_path))
+        geom = Geometry(Box.cell_centered(16, 16))
+        ba = BoxArray([Box((0, 0), (15, 15))])
+        dm = round_robin_map(ba, 1)
+        mf = MultiFab(ba, dm, NCOMP)
+        mf[0].data[0] = 1.0
+        mf[0].data[3] = 2.5
+        pdir = write_plotfile(
+            fs, PlotfileSpec(prefix="plt", nprocs=1), 0, 0.0,
+            [geom], [ba], [dm], state=[mf], eos=GammaLawEOS(),
+        )
+        blob = fs.read_bytes(f"{pdir}/Level_0/Cell_D_00000")
+        first_line = blob.split(b"\n", 1)[0].decode("ascii") + "\n"
+        box, ncomp = decode_fab_header(first_line)
+        assert box == Box((0, 0), (15, 15))
+        assert ncomp == 24
+        # payload holds ncomp * numpts doubles
+        payload = blob.split(b"\n", 1)[1]
+        assert len(payload) == 24 * 256 * 8
+
+
+class TestMacsioRealFS:
+    def test_materialized_run_on_disk(self, tmp_path):
+        fs = RealFileSystem(str(tmp_path))
+        p = MacsioParams(num_dumps=2, part_size=5000)
+        run_macsio(p, nprocs=2, fs=fs, materialize=True)
+        import json as _json
+
+        files = [f for f in fs.files("data")]
+        assert len(files) == 4
+        doc = _json.loads(fs.read_bytes(files[0]))
+        assert doc["mesh"]["type"] == "rectilinear"
