@@ -1,0 +1,18 @@
+# Developer entry points. Everything runs from the source tree via
+# PYTHONPATH=src — no install step required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench docs-check all
+
+all: test docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
+
+docs-check:
+	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md

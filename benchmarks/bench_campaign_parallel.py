@@ -1,0 +1,101 @@
+"""Campaign engine performance: serial vs parallel vs cached replay.
+
+Times the same ≥8-case sweep three ways through the
+:class:`~repro.campaign.executor.CampaignExecutor`:
+
+1. **serial** — ``max_workers=1``, the historical single-process loop;
+2. **parallel** — one worker per core (capped at 4), cold ResultStore;
+3. **cached** — identical sweep against the now-warm store, which must
+   execute zero cases.
+
+Emits ``benchmarks/output/BENCH_campaign.json`` so the performance
+trajectory of the campaign layer is tracked as data, not anecdotes.
+On a multi-core host parallel must beat serial; on a single core the
+pool's fork overhead makes that impossible, so only the cached-replay
+speedup is asserted there.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.campaign.executor import CampaignExecutor
+from repro.campaign.store import ResultStore
+from repro.campaign.sweep import sweep_cases
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+BENCH_PATH = os.path.join(OUTPUT_DIR, "BENCH_campaign.json")
+
+
+def _bench_sweep():
+    """8 paper-band cases heavy enough to amortize pool startup."""
+    return sweep_cases(
+        mesh_ladder=[(1024, 64, 4)],
+        cfls=(0.3, 0.4, 0.5, 0.6),
+        max_levels=(1, 3),
+        plot_int=10,
+        max_step=100,
+    )
+
+
+def _timed(executor, cases, **kwargs):
+    t0 = time.perf_counter()
+    result = executor.run(cases, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def test_campaign_parallel_vs_serial(once, emit, tmp_path):
+    cases = _bench_sweep()
+    assert len(cases) >= 8
+    ncpu = multiprocessing.cpu_count()
+    jobs = max(2, min(4, ncpu))
+
+    # serial gets its own cold store so both paths pay the same
+    # persistence (fsync-per-record) cost and the comparison is fair
+    serial_store = ResultStore(str(tmp_path / "serial_store.jsonl"))
+    serial_result, serial_s = _timed(
+        CampaignExecutor(max_workers=1, store=serial_store), cases
+    )
+
+    store = ResultStore(str(tmp_path / "bench_store.jsonl"))
+    parallel_result, parallel_s = _timed(
+        CampaignExecutor(max_workers=jobs, store=store), cases
+    )
+    assert parallel_result.records == serial_result.records  # ordered, bit-identical
+    assert not parallel_result.cached
+
+    # warm replay, fresh store instance to include the reload cost
+    warm = ResultStore(str(tmp_path / "bench_store.jsonl"))
+    cached_result, cached_s = _timed(
+        CampaignExecutor(max_workers=jobs, store=warm), cases
+    )
+    assert cached_result.records == serial_result.records
+    assert cached_result.n_executed == 0, "warm store must execute zero cases"
+
+    # one benchmark-registered timing for pytest-benchmark's table
+    once(CampaignExecutor(max_workers=1).run, cases[:1])
+
+    payload = {
+        "n_cases": len(cases),
+        "cpu_count": ncpu,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "cached_s": round(cached_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "cached_speedup": round(serial_s / cached_s, 3),
+        "cached_executed": cached_result.n_executed,
+        "records_equal": parallel_result.records == serial_result.records,
+    }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+    emit("BENCH_campaign", json.dumps(payload, indent=1))
+
+    assert cached_s < serial_s, "cached replay must beat re-executing the sweep"
+    if ncpu > 1:
+        assert parallel_s < serial_s, (
+            f"parallel ({parallel_s:.2f}s, jobs={jobs}) must beat "
+            f"serial ({serial_s:.2f}s) on a {ncpu}-core host"
+        )

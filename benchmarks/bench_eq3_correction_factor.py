@@ -10,13 +10,13 @@ import numpy as np
 
 from repro.analysis.report import format_table
 from repro.campaign.cases import case4
-from repro.campaign.runner import run_campaign, run_case
+from repro.campaign.runner import run_case
 from repro.campaign.sweep import sweep_cases
 from repro.core.part_size import CASE4_PART_SIZE, F_RANGE_PAPER, fit_correction_factor, part_size_model
 from repro.plotfile.varlist import N_PLOT_VARS_ALL
 
 
-def test_eq3_correction_factor(once, emit):
+def test_eq3_correction_factor(once, emit, campaign):
     cases = sweep_cases(
         mesh_ladder=[(256, 8, 1), (512, 32, 2), (1024, 64, 4)],
         cfls=(0.4,),
@@ -24,7 +24,7 @@ def test_eq3_correction_factor(once, emit):
         plot_int=10,
         max_step=50,
     )
-    campaign = once(run_campaign, cases)
+    campaign = campaign(cases)
     rows = []
     fitted = {}
     for rec in campaign.records:

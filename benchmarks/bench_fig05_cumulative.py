@@ -9,11 +9,10 @@ import numpy as np
 
 from repro.analysis.compare import classify_linearity
 from repro.analysis.report import format_table
-from repro.campaign.runner import run_campaign
 from repro.campaign.sweep import sweep_cases
 
 
-def test_fig5_cumulative_output_sizes(once, emit):
+def test_fig5_cumulative_output_sizes(once, emit, campaign):
     cases = sweep_cases(
         mesh_ladder=[(128, 4, 1), (256, 8, 1), (512, 32, 2), (1024, 64, 4)],
         cfls=(0.3, 0.6),
@@ -21,7 +20,7 @@ def test_fig5_cumulative_output_sizes(once, emit):
         plot_int=10,
         max_step=100,
     )
-    campaign = once(run_campaign, cases)
+    campaign = campaign(cases)
 
     rows = []
     series_lines = ["Fig. 5 series: x = counter*ncells (Eq. 1), y = cumulative bytes"]

@@ -44,3 +44,24 @@ def once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return _once
+
+
+@pytest.fixture
+def campaign(once):
+    """campaign(cases, **kw): run a sweep through the CampaignExecutor.
+
+    Worker count defaults to serial so benchmark timings stay
+    comparable across hosts; set ``REPRO_BENCH_JOBS`` to fan the
+    figure pipelines out across processes.
+    """
+    from repro.campaign.executor import CampaignExecutor
+
+    def _run(cases, jobs=None, store=None, **kwargs):
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+        executor = CampaignExecutor(max_workers=jobs or None, store=store)
+        result = once(executor.run, cases, **kwargs)
+        assert not result.failures, f"campaign failures: {result.failures}"
+        return result
+
+    return _run

@@ -1,2 +1,50 @@
-from setuptools import setup
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+HERE = os.path.abspath(os.path.dirname(__file__))
+
+with open(os.path.join(HERE, "README.md"), encoding="utf-8") as fh:
+    long_description = fh.read()
+
+# single-source the version without importing the package (import needs numpy)
+with open(os.path.join(HERE, "src", "repro", "__init__.py"), encoding="utf-8") as fh:
+    version = re.search(r'^__version__ = "([^"]+)"', fh.read(), re.M).group(1)
+
+setup(
+    name="repro-amr-io",
+    version=version,
+    description=(
+        "Reproduction of 'Modeling pre-Exascale AMR Parallel I/O Workloads "
+        "via Proxy Applications' (Godoy, Delozier, Watson; IPDPSW 2022)"
+    ),
+    long_description=long_description,
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-sedov=repro.cli:sedov_main",
+            "repro-macsio=repro.cli:macsio_main",
+            "repro-model=repro.cli:model_main",
+            "repro-campaign=repro.cli:campaign_main",
+        ]
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3 :: Only",
+        "Topic :: Scientific/Engineering :: Physics",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

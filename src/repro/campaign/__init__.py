@@ -1,4 +1,5 @@
-"""Parameterized-run campaign: cases, Table-III sweep, runner, records."""
+"""Parameterized-run campaign: cases, Table-III sweep, parallel
+executor, persistent result store, and run records."""
 
 from .cases import (
     CASE_REGISTRY,
@@ -9,9 +10,17 @@ from .cases import (
     large_case,
     small_solver_case,
 )
+from .executor import CampaignExecutor, CaseOutcome
 from .records import RunRecord, load_records, record_from_result, save_records
 from .runner import CampaignResult, run_campaign, run_case
-from .sweep import TABLE_III_RANGES, paper_sweep, sweep_cases
+from .store import ResultStore, case_key
+from .sweep import (
+    TABLE_III_RANGES,
+    estimated_cost,
+    order_by_cost,
+    paper_sweep,
+    sweep_cases,
+)
 
 __all__ = [
     "CASE_REGISTRY",
@@ -21,6 +30,8 @@ __all__ = [
     "case27",
     "large_case",
     "small_solver_case",
+    "CampaignExecutor",
+    "CaseOutcome",
     "RunRecord",
     "load_records",
     "record_from_result",
@@ -28,7 +39,11 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "run_case",
+    "ResultStore",
+    "case_key",
     "TABLE_III_RANGES",
+    "estimated_cost",
+    "order_by_cost",
     "paper_sweep",
     "sweep_cases",
 ]

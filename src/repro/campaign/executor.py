@@ -1,0 +1,304 @@
+"""Parallel campaign execution with ordered collection and caching.
+
+:class:`CampaignExecutor` turns a list of :class:`~repro.campaign.cases.Case`
+into a :class:`~repro.campaign.runner.CampaignResult` by sharding the
+cases across ``multiprocessing`` workers.  Three properties make it a
+drop-in replacement for the serial loop it supersedes:
+
+* **Ordered collect** — records come back in the input case order, and
+  (the engines being deterministic) bit-identical to a serial run.
+* **Failure capture** — a case that raises or times out becomes an
+  entry in ``CampaignResult.failures`` instead of aborting the sweep.
+* **Result caching** — with a :class:`~repro.campaign.store.ResultStore`
+  attached, cases whose content key is already stored are served from
+  the store; interrupted sweeps resume paying only for missing cases.
+
+Cases are *submitted* heaviest-first (:func:`~repro.campaign.sweep.order_by_cost`)
+so stragglers start early, while *collection* stays in input order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .cases import Case
+from .records import RunRecord, record_from_result
+from .store import ResultStore
+from .sweep import order_by_cost
+
+__all__ = ["CampaignExecutor", "CaseOutcome"]
+
+Progress = Callable[[str, float], None]
+
+
+@dataclass
+class CaseOutcome:
+    """What happened to one case: a record, a cache hit, or a failure."""
+
+    name: str
+    record: Optional[RunRecord]
+    seconds: float
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
+
+
+class _CaseTimeout(Exception):
+    pass
+
+
+@contextmanager
+def _alarm(seconds: Optional[float]):
+    """Raise :class:`_CaseTimeout` after ``seconds`` of execution.
+
+    Uses ``SIGALRM``/``setitimer``, so the clock measures this case's
+    own run time — queue wait behind other cases never counts.  On
+    platforms without ``setitimer`` (Windows), or off the main thread
+    (where ``signal.signal`` is illegal), the limit degrades to a
+    no-op rather than failing the case.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _CaseTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+        finally:
+            # restore even if a last-instant alarm fires mid-disarm
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_case(case: Case, kwargs: Dict,
+                  timeout: Optional[float] = None) -> Tuple[str, object, float]:
+    """Worker-side unit of work: run one case, never raise.
+
+    Returns ``("ok", RunRecord, seconds)`` or ``("err", traceback_text,
+    seconds)`` — both shapes pickle cheaply back to the parent.
+    """
+    t0 = time.perf_counter()
+    record = None
+    try:
+        from .runner import run_case
+
+        with _alarm(timeout):
+            result = run_case(case, **kwargs)
+            record = record_from_result(case.name, result, case.nnodes, case.engine)
+        return ("ok", record, time.perf_counter() - t0)
+    except _CaseTimeout:
+        if record is not None:
+            # the alarm fired in the sliver between finishing the work
+            # and disarming the timer — the case did complete
+            return ("ok", record, time.perf_counter() - t0)
+        return (
+            "err",
+            f"case {case.name!r} timed out after {timeout}s",
+            time.perf_counter() - t0,
+        )
+    except Exception:
+        return ("err", traceback.format_exc(), time.perf_counter() - t0)
+
+
+class CampaignExecutor:
+    """Shard cases across processes; collect records in input order.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count.  ``1`` (the default) runs inline in this process
+        — no pool, identical to the historical serial loop.  ``None``
+        means ``os.cpu_count()``.
+    timeout:
+        Per-case execution limit in seconds, enforced inside the
+        worker with ``SIGALRM`` — time spent queued behind other cases
+        never counts.  An over-limit case is recorded as a failure and
+        the sweep continues.  (No-op on platforms without
+        ``signal.setitimer``.)
+    store:
+        Optional :class:`ResultStore`.  Hits skip execution entirely;
+        every fresh record is persisted as soon as it completes.
+
+    With ``max_workers > 1``, caller-supplied stateful kwargs (e.g. a
+    ``fs=VirtualFileSystem()``) are pickled into each worker: the
+    records come back identical to a serial run, but side effects land
+    on the workers' copies, not the caller's object.  Use
+    ``max_workers=1`` when inspecting such state after the run.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = 1,
+        timeout: Optional[float] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = multiprocessing.cpu_count()
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+        self.max_workers = max_workers
+        self.timeout = timeout
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def run(self, cases: List[Case], progress: Optional[Progress] = None, **run_case_kwargs):
+        """Execute a sweep; returns a CampaignResult (records in case order)."""
+        from .runner import CampaignResult
+
+        names = [c.name for c in cases]
+        if len(set(names)) != len(names):
+            raise ValueError("case names must be unique within a campaign")
+
+        # Cache keys are computed once, up front, while every kwarg is
+        # in its pristine pre-run state — the same key is used for both
+        # lookup and store, so a run that mutates a stateful kwarg
+        # (e.g. a shared fs) can never diverge lookup from put.
+        keys: Dict[str, Optional[str]] = {}
+        outcomes: Dict[str, CaseOutcome] = {}
+        pending: List[Case] = []
+        for case in cases:
+            record = None
+            if self.store is not None:
+                keys[case.name] = self.store.key_for(case, run_case_kwargs)
+                record = self.store.get_labeled(keys[case.name], case.name)
+            else:
+                keys[case.name] = None
+            if record is not None:
+                outcomes[case.name] = CaseOutcome(case.name, record, 0.0, cached=True)
+                if progress is not None:
+                    progress(case.name, 0.0)
+            else:
+                pending.append(case)
+
+        if pending:
+            if self.max_workers == 1 or len(pending) == 1:
+                self._run_serial(pending, keys, outcomes, run_case_kwargs, progress)
+            else:
+                self._run_parallel(pending, keys, outcomes, run_case_kwargs, progress)
+
+        out = CampaignResult()
+        for case in cases:
+            o = outcomes[case.name]
+            if o.ok:
+                out.records.append(o.record)
+            else:
+                out.failures[o.name] = o.error or "unknown failure"
+            if o.cached:
+                out.cached.append(o.name)
+            out.seconds[o.name] = o.seconds
+        return out
+
+    # ------------------------------------------------------------------
+    def _finish(self, case: Case, status: str, payload, dt: float,
+                outcomes: Dict[str, CaseOutcome]) -> None:
+        if status == "ok":
+            outcomes[case.name] = CaseOutcome(case.name, payload, dt)
+        else:
+            outcomes[case.name] = CaseOutcome(case.name, None, dt, error=str(payload))
+
+    def _persist(self, case: Case, key: Optional[str],
+                 result: Tuple[str, object, float],
+                 progress: Optional[Progress]) -> None:
+        """Handle a finished case the moment it completes — not when the
+        ordered collection reaches it: persist it (so an interrupted
+        sweep keeps every case that ever finished) and report progress.
+        In the pool path this runs on an internal result thread; it
+        must never raise, so a failed put degrades to a warning.
+        """
+        status, payload, dt = result
+        if status == "ok" and self.store is not None and key is not None:
+            try:
+                self.store.put(key, payload, dt)
+            except Exception:
+                print(f"warning: could not persist {case.name!r}:\n"
+                      f"{traceback.format_exc()}", file=sys.stderr)
+        if progress is not None:
+            progress(case.name, dt)
+
+    def _run_serial(self, pending: List[Case], keys: Dict[str, Optional[str]],
+                    outcomes: Dict[str, CaseOutcome],
+                    kwargs: Dict, progress: Optional[Progress]) -> None:
+        for case in pending:
+            status, payload, dt = _execute_case(case, kwargs, self.timeout)
+            self._persist(case, keys[case.name], (status, payload, dt), progress)
+            self._finish(case, status, payload, dt, outcomes)
+
+    def _run_parallel(self, pending: List[Case], keys: Dict[str, Optional[str]],
+                      outcomes: Dict[str, CaseOutcome],
+                      kwargs: Dict, progress: Optional[Progress]) -> None:
+        # fork shares the imported modules with zero re-import cost, but
+        # is only reliably safe on Linux (macOS frameworks break across
+        # fork — the reason CPython switched its default to spawn there).
+        methods = multiprocessing.get_all_start_methods()
+        use_fork = sys.platform.startswith("linux") and "fork" in methods
+        ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
+        nproc = min(self.max_workers, len(pending))
+        pool = ProcessPoolExecutor(max_workers=nproc, mp_context=ctx)
+
+        # Future.result() can unblock before the future's done-callbacks
+        # have run, so count callbacks and wait for the flush below —
+        # otherwise run() could return with the last put still in flight.
+        flush_lock = threading.Lock()
+        flushed = {"n": 0}
+        all_flushed = threading.Event()
+
+        def _on_complete(case: Case, fut) -> None:
+            try:
+                if not fut.cancelled() and fut.exception() is None:
+                    self._persist(case, keys[case.name], fut.result(), progress)
+            finally:
+                with flush_lock:
+                    flushed["n"] += 1
+                    if flushed["n"] == len(pending):
+                        all_flushed.set()
+
+        try:
+            futures = {}
+            for case in order_by_cost(pending):
+                fut = pool.submit(_execute_case, case, kwargs, self.timeout)
+                fut.add_done_callback(partial(_on_complete, case))
+                futures[case.name] = fut
+            # Collect in input order.  Case timeouts are enforced inside
+            # the worker by _alarm; a worker that dies outright
+            # (segfault, OOM-kill) surfaces here as BrokenProcessPool on
+            # its future — a captured failure, not a hang.
+            for case in pending:
+                try:
+                    status, payload, dt = futures[case.name].result()
+                except Exception:
+                    status, payload, dt = ("err", traceback.format_exc(), 0.0)
+                    # the done-callback skips dead futures (cancelled /
+                    # broken pool), so report their progress here
+                    if progress is not None:
+                        progress(case.name, dt)
+                self._finish(case, status, payload, dt, outcomes)
+            all_flushed.wait(timeout=60.0)
+        finally:
+            # On interrupt: stop scheduling queued cases; in-flight ones
+            # finish and are persisted by their done-callbacks.
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -17,7 +17,8 @@ import numpy as np
 from ..core.variables import build_series
 from ..sim.castro import SimResult
 
-__all__ = ["RunRecord", "record_from_result", "save_records", "load_records"]
+__all__ = ["RunRecord", "record_from_result", "record_from_dict",
+           "save_records", "load_records"]
 
 
 @dataclass
@@ -93,11 +94,19 @@ def save_records(records: List[RunRecord], path: str) -> None:
         json.dump(payload, fh, indent=1)
 
 
+def record_from_dict(payload: Dict) -> RunRecord:
+    """Rebuild a RunRecord from its JSON dict (the ``asdict`` inverse).
+
+    The single place that knows which fields need coercion back from
+    JSON types — shared by :func:`load_records` and the campaign
+    :class:`~repro.campaign.store.ResultStore`.
+    """
+    payload = dict(payload)
+    payload["n_cell"] = tuple(payload["n_cell"])
+    return RunRecord(**payload)
+
+
 def load_records(path: str) -> List[RunRecord]:
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
-    out: List[RunRecord] = []
-    for item in payload:
-        item["n_cell"] = tuple(item["n_cell"])
-        out.append(RunRecord(**item))
-    return out
+    return [record_from_dict(item) for item in payload]

@@ -9,7 +9,6 @@ modeling are engine-agnostic — the point of the substrate design.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -19,7 +18,7 @@ from ..sim.castro import CastroSim, SimResult
 from ..workload.annulus import AnnulusCoefficients
 from ..workload.generator import SedovWorkloadGenerator
 from .cases import Case
-from .records import RunRecord, record_from_result
+from .records import RunRecord
 
 __all__ = ["run_case", "run_campaign", "CampaignResult"]
 
@@ -58,28 +57,45 @@ def run_case(
 
 @dataclass
 class CampaignResult:
-    """All records of a campaign plus wall-clock bookkeeping."""
+    """All records of a campaign plus wall-clock bookkeeping.
+
+    ``records`` holds the successful runs in input-case order.
+    ``failures`` maps case name -> error text for cases that raised or
+    timed out; ``cached`` names the cases served from a ResultStore
+    without executing.  ``seconds`` covers every case (0.0 for hits).
+    """
 
     records: List[RunRecord] = field(default_factory=list)
     seconds: Dict[str, float] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+    cached: List[str] = field(default_factory=list)
 
     def by_name(self) -> Dict[str, RunRecord]:
         return {r.name: r for r in self.records}
+
+    @property
+    def n_executed(self) -> int:
+        """Cases actually run this invocation (not cached, not failed)."""
+        return len(self.records) - len(self.cached)
 
 
 def run_campaign(
     cases: List[Case],
     progress: Optional[Callable[[str, float], None]] = None,
+    jobs: int = 1,
+    store=None,
+    timeout: Optional[float] = None,
     **kwargs,
 ) -> CampaignResult:
-    """Run a list of cases; per-case kwargs forward to :func:`run_case`."""
-    out = CampaignResult()
-    for case in cases:
-        t0 = time.perf_counter()
-        result = run_case(case, **kwargs)
-        dt = time.perf_counter() - t0
-        out.records.append(record_from_result(case.name, result, case.nnodes, case.engine))
-        out.seconds[case.name] = dt
-        if progress is not None:
-            progress(case.name, dt)
-    return out
+    """Run a list of cases through the :class:`CampaignExecutor`.
+
+    ``jobs`` is the worker-process count (1 = in-process serial, the
+    historical behavior; None = all cores), ``store`` an optional
+    :class:`~repro.campaign.store.ResultStore` for cache/resume,
+    ``timeout`` a per-case limit in seconds.  Remaining kwargs forward
+    to :func:`run_case`.
+    """
+    from .executor import CampaignExecutor
+
+    executor = CampaignExecutor(max_workers=jobs, timeout=timeout, store=store)
+    return executor.run(cases, progress=progress, **kwargs)

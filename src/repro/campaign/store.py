@@ -1,0 +1,228 @@
+"""Persistent, content-addressed result store for campaign runs.
+
+A :class:`ResultStore` maps a **cache key** — a SHA-256 digest over the
+case's inputs, job shape, engine, and the code version — to the
+:class:`~repro.campaign.records.RunRecord` produced by executing that
+case.  Storage is a JSON-lines file: one entry per line, append-only on
+``put``, compacted on ``invalidate``/``clear``.  Append-plus-flush makes
+an interrupted sweep resumable: every completed case is already on disk,
+and a torn final line (the write that was interrupted) is skipped on
+load.
+
+Key semantics
+-------------
+The key deliberately excludes the case *name*: it addresses the
+**content** of a run (what was computed), not its label.  Two cases with
+identical inputs share one entry; on a hit under a different name the
+cached record is relabeled.  Bumping ``repro.__version__`` invalidates
+every entry at once, since the digest covers the code version.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Iterator, List, Optional
+
+from .cases import Case
+from .records import RunRecord, record_from_dict
+
+__all__ = ["case_key", "ResultStore"]
+
+STORE_FORMAT = 1
+
+
+def _code_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def _canonical(obj):
+    """Deterministic, identity-free JSON projection of a value.
+
+    Used to fold execution options (``run_case`` kwargs) into the cache
+    key: dataclasses by field, plain objects by class name + instance
+    state — never by ``repr`` (which would embed memory addresses).
+    """
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__,
+                "fields": _canonical(dataclasses.asdict(obj))}
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        return {"__class__": type(obj).__name__, "state": _canonical(state)}
+    # No inspectable state (ndarray, slotted class, callable): fall back
+    # to repr.  A value-bearing repr keys correctly; a default repr
+    # embeds the object's address, which only ever causes a cache MISS —
+    # never a wrong hit between two different values.
+    return {"__class__": type(obj).__name__, "repr": repr(obj)}
+
+
+def case_key(case: Case, code_version: Optional[str] = None,
+             extra: Optional[Dict] = None) -> str:
+    """Stable content hash of a case: inputs + job shape + engine +
+    execution options + code version.
+
+    The case *name* is excluded — the key addresses what is computed,
+    not what it is called.  Any change to the inputs (mesh, cfl,
+    plot_int, ...), the task/node counts, the engine, the execution
+    options (``extra``: the ``run_case`` kwargs, e.g. a different
+    distribution strategy), or the package version yields a different
+    key.
+    """
+    payload = {
+        "format": STORE_FORMAT,
+        "inputs": asdict(case.inputs),
+        "nprocs": case.nprocs,
+        "nnodes": case.nnodes,
+        "engine": case.engine,
+        "extra": _canonical(extra or {}),
+        "code_version": code_version or _code_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """JSON-lines store of campaign results, keyed by :func:`case_key`.
+
+    ``path=None`` gives a purely in-memory store (same API, no
+    persistence) — useful for tests and one-shot cache semantics.
+    """
+
+    def __init__(self, path: Optional[str] = None, code_version: Optional[str] = None) -> None:
+        self.path = path
+        self.code_version = code_version or _code_version()
+        self._entries: Dict[str, Dict] = {}
+        # other-version entries: preserved on disk, never served
+        self._foreign: Dict[str, Dict] = {}
+        if path is not None:
+            # fail fast here, not at the first mid-sweep put
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+            if os.path.exists(path):
+                self._load(path)
+
+    # -- loading -------------------------------------------------------
+    def _load(self, path: str) -> None:
+        """Read every intact line, skipping torn/corrupt ones
+        (interrupted put).  Entries from other code versions are kept
+        on disk — another checkout may still need them — but excluded
+        from the in-memory index, since their keys can never hit under
+        this version.  If lines were superseded or torn, the file is
+        compacted so a long-lived store doesn't grow without bound."""
+        n_lines = 0
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                n_lines += 1
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict) or "key" not in entry or "record" not in entry:
+                    continue
+                if entry.get("code_version") != self.code_version:
+                    self._foreign[entry["key"]] = entry
+                    continue
+                # later lines win: a re-put after invalidation supersedes
+                self._entries[entry["key"]] = entry
+        if n_lines != len(self._entries) + len(self._foreign):
+            self._rewrite()
+
+    # -- lookup --------------------------------------------------------
+    def key_for(self, case: Case, extra: Optional[Dict] = None) -> str:
+        return case_key(case, self.code_version, extra)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return record_from_dict(entry["record"])
+
+    def get_labeled(self, key: str, name: str) -> Optional[RunRecord]:
+        """Lookup by key; relabels the record on a renamed hit (keys are
+        content-addressed, so the stored name may differ)."""
+        record = self.get(key)
+        if record is not None and record.name != name:
+            record = dataclasses.replace(record, name=name)
+        return record
+
+    def get_for(self, case: Case, extra: Optional[Dict] = None) -> Optional[RunRecord]:
+        """Cache lookup for a case; relabels the record on a renamed hit.
+
+        ``extra`` must be the same execution options the case would run
+        with — it is part of the key.
+        """
+        return self.get_labeled(self.key_for(case, extra), case.name)
+
+    def records(self) -> Iterator[RunRecord]:
+        for entry in self._entries.values():
+            yield record_from_dict(entry["record"])
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    # -- mutation ------------------------------------------------------
+    def put(self, key: str, record: RunRecord, seconds: float = 0.0) -> None:
+        """Insert/overwrite one entry; appended and flushed immediately."""
+        entry = {
+            "key": key,
+            "case": record.name,
+            "code_version": self.code_version,
+            "seconds": float(seconds),
+            "record": asdict(record),
+        }
+        self._entries[key] = entry
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def put_for(self, case: Case, record: RunRecord, seconds: float = 0.0,
+                extra: Optional[Dict] = None) -> str:
+        key = self.key_for(case, extra)
+        self.put(key, record, seconds)
+        return key
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (returns whether it existed); compacts the file."""
+        existed = self._entries.pop(key, None) is not None
+        if existed:
+            self._rewrite()
+        return existed
+
+    def clear(self) -> None:
+        """Drop everything (all code versions), truncating the file."""
+        self._entries.clear()
+        self._foreign.clear()
+        self._rewrite()
+
+    def _rewrite(self) -> None:
+        if self.path is None:
+            return
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for entry in self._foreign.values():
+                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            for entry in self._entries.values():
+                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        os.replace(tmp, self.path)

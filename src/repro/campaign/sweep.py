@@ -21,7 +21,7 @@ from typing import Dict, Iterator, List, Tuple
 from ..sim.inputs import CastroInputs
 from .cases import Case
 
-__all__ = ["TABLE_III_RANGES", "paper_sweep", "sweep_cases"]
+__all__ = ["TABLE_III_RANGES", "paper_sweep", "sweep_cases", "estimated_cost", "order_by_cost"]
 
 TABLE_III_RANGES: Dict[str, Tuple] = {
     "amr.max_step": (40, 1000),
@@ -106,3 +106,24 @@ def paper_sweep() -> List[Case]:
         )
     assert len(cases) == 47, f"expected 47 cases, got {len(cases)}"
     return cases
+
+
+def estimated_cost(case: Case) -> float:
+    """Rough relative cost of executing one case.
+
+    Work scales with the base-mesh cell count times the number of dumps
+    times the depth of the level hierarchy — enough fidelity to order a
+    sweep for scheduling; not a wall-clock predictor.
+    """
+    inp = case.inputs
+    return float(inp.ncells_l0) * inp.n_outputs * inp.nlevels
+
+
+def order_by_cost(cases: List[Case]) -> List[Case]:
+    """Longest-processing-time-first order (heaviest cases first).
+
+    Submitting in this order keeps a worker pool load-balanced: the
+    stragglers start immediately instead of landing last on one worker.
+    Ties (and the overall order for equal-cost cases) stay stable.
+    """
+    return sorted(cases, key=estimated_cost, reverse=True)

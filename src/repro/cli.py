@@ -16,6 +16,7 @@ from .analysis.report import format_series, format_table, human_bytes
 from .campaign.cases import CASE_REGISTRY, Case
 from .campaign.records import record_from_result, save_records
 from .campaign.runner import run_campaign, run_case
+from .campaign.store import ResultStore
 from .campaign.sweep import paper_sweep
 from .core.calibration import calibrate_from_result, verify_proxy
 from .iosim.filesystem import RealFileSystem, VirtualFileSystem
@@ -95,20 +96,47 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
     ap = argparse.ArgumentParser(prog="repro-campaign", description=campaign_main.__doc__)
     ap.add_argument("--out", default="campaign_records.json")
     ap.add_argument("--limit", type=int, help="run only the first N cases")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (default 1 = serial; 0 = all cores)")
+    ap.add_argument("--store", metavar="PATH",
+                    help="persist results to a JSON-lines ResultStore at PATH "
+                         "(without --resume, existing results there are discarded)")
+    ap.add_argument("--resume", action="store_true",
+                    help="reuse results already in --store instead of starting fresh")
+    ap.add_argument("--timeout", type=float,
+                    help="per-case timeout in seconds (failed cases are reported, not fatal)")
     args = ap.parse_args(argv)
+    if args.resume and not args.store:
+        ap.error("--resume requires --store")
+    if args.jobs < 0:
+        ap.error("--jobs must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        ap.error("--timeout must be > 0")
+    store = None
+    if args.store:
+        store = ResultStore(args.store)
+        if not args.resume and len(store):
+            # --store without --resume starts a fresh sweep
+            print(f"discarding {len(store)} stored result(s) in {args.store} "
+                  f"(pass --resume to reuse them)", file=sys.stderr)
+            store.clear()
     cases = paper_sweep()
     if args.limit:
         cases = cases[: args.limit]
     def progress(name: str, dt: float) -> None:
         print(f"  {name}: {dt:.2f}s", file=sys.stderr)
-    campaign = run_campaign(cases, progress=progress)
+    jobs = args.jobs if args.jobs != 0 else None
+    campaign = run_campaign(cases, progress=progress, jobs=jobs,
+                            store=store, timeout=args.timeout)
     save_records(campaign.records, args.out)
     rows = [
         (r.name, f"{r.n_cell[0]}^2", r.nprocs, len(r.steps), human_bytes(sum(r.step_bytes)))
         for r in campaign.records
     ]
-    print(format_table(
-        ["case", "mesh", "np", "dumps", "total output"], rows,
-        title=f"campaign: {len(rows)} runs -> {args.out}",
-    ))
-    return 0
+    title = f"campaign: {len(rows)} runs -> {args.out}"
+    if campaign.cached:
+        title += f" ({len(campaign.cached)} cached)"
+    print(format_table(["case", "mesh", "np", "dumps", "total output"], rows, title=title))
+    for name, err in campaign.failures.items():
+        print(f"FAILED {name}: {err.splitlines()[-1]}", file=sys.stderr)
+    return 1 if campaign.failures else 0

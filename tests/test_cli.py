@@ -90,3 +90,37 @@ class TestCampaignMain:
         assert len(records) == 3
         out = capsys.readouterr().out
         assert "campaign: 3 runs" in out
+
+    def test_parallel_jobs_match_serial(self, tmp_path, capsys):
+        serial_path = str(tmp_path / "serial.json")
+        par_path = str(tmp_path / "par.json")
+        assert campaign_main(["--out", serial_path, "--limit", "4"]) == 0
+        assert campaign_main(["--out", par_path, "--limit", "4", "--jobs", "4"]) == 0
+        with open(serial_path) as fh:
+            serial = json.load(fh)
+        with open(par_path) as fh:
+            par = json.load(fh)
+        assert par == serial
+
+    def test_store_resume_skips_done_cases(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store.jsonl")
+        out_path = str(tmp_path / "recs.json")
+        rc = campaign_main(["--out", out_path, "--limit", "3", "--store", store_path])
+        assert rc == 0
+        capsys.readouterr()
+        rc = campaign_main(["--out", out_path, "--limit", "3",
+                            "--store", store_path, "--resume"])
+        assert rc == 0
+        assert "(3 cached)" in capsys.readouterr().out
+
+    def test_store_without_resume_starts_fresh(self, tmp_path, capsys):
+        store_path = str(tmp_path / "store.jsonl")
+        out_path = str(tmp_path / "recs.json")
+        campaign_main(["--out", out_path, "--limit", "2", "--store", store_path])
+        capsys.readouterr()
+        campaign_main(["--out", out_path, "--limit", "2", "--store", store_path])
+        assert "cached" not in capsys.readouterr().out
+
+    def test_resume_requires_store(self, tmp_path):
+        with pytest.raises(SystemExit):
+            campaign_main(["--out", str(tmp_path / "r.json"), "--resume"])

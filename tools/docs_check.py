@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""docs-check: fail if the docs reference things that don't exist.
+
+Scans markdown files (README.md, docs/*.md) and verifies that
+
+* every ``import repro...`` / ``from repro... import name`` in a fenced
+  code block actually imports,
+* every dotted ``repro.foo.bar`` inline-code reference resolves to a
+  module or module attribute,
+* every ``--flag`` shown next to a ``repro-*`` command (or ``*_main``
+  call) exists in that command's argparse ``--help``, and every bare
+  ``--flag`` inline span exists in at least one command,
+* every referenced repo path (``examples/...``, ``benchmarks/...``, ...)
+  and every local markdown link target exists on disk.
+
+Run via ``make docs-check`` or::
+
+    PYTHONPATH=src python tools/docs_check.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import os
+import re
+import sys
+from contextlib import redirect_stderr, redirect_stdout
+from typing import Dict, List
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+# prog name -> (module, function) for --help introspection
+PROGS = {
+    "repro-sedov": ("repro.cli", "sedov_main"),
+    "repro-macsio": ("repro.cli", "macsio_main"),
+    "repro-model": ("repro.cli", "model_main"),
+    "repro-campaign": ("repro.cli", "campaign_main"),
+}
+_FUNC_TO_PROG = {func: prog for prog, (_, func) in PROGS.items()}
+
+# repo-relative path prefixes worth checking; benchmarks/output is generated
+PATH_RE = re.compile(r"\b(?:examples|benchmarks|docs|src|tools|tests)/[\w./-]*\w")
+GENERATED_PREFIXES = ("benchmarks/output/",)
+
+FENCE_RE = re.compile(r"```[\w]*\n(.*?)```", re.S)
+INLINE_RE = re.compile(r"`([^`\n]+)`")
+IMPORT_FROM_RE = re.compile(r"from\s+(repro[\w.]*)\s+import\s+(\w+(?:\s*,\s*\w+)*)")
+IMPORT_RE = re.compile(r"(?<!from )\bimport\s+(repro[\w.]*)")
+DOTTED_RE = re.compile(r"repro(?:\.\w+)+")
+FLAG_RE = re.compile(r"(?<![\w-])--[a-zA-Z][\w-]*")
+LINK_RE = re.compile(r"\]\(([^)\s]+)\)")
+
+
+def _resolve_dotted(dotted: str) -> None:
+    """Import ``a.b.c`` as a module, or module + attribute chain."""
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        modname = ".".join(parts[:split])
+        try:
+            obj = importlib.import_module(modname)
+        except ImportError:
+            continue
+        for attr in parts[split:]:
+            obj = getattr(obj, attr)  # AttributeError -> caller reports
+        return
+    raise ImportError(f"no importable prefix of {dotted!r}")
+
+
+_help_cache: Dict[str, str] = {}
+
+
+def _help_text(prog: str) -> str:
+    if prog not in _help_cache:
+        module, func = PROGS[prog]
+        main = getattr(importlib.import_module(module), func)
+        buf = io.StringIO()
+        try:
+            with redirect_stdout(buf), redirect_stderr(buf):
+                main(["--help"])
+        except SystemExit:
+            pass
+        _help_cache[prog] = buf.getvalue()
+    return _help_cache[prog]
+
+
+def _progs_on_line(line: str) -> List[str]:
+    found = [prog for prog in PROGS if prog in line]
+    found += [_FUNC_TO_PROG[f] for f in _FUNC_TO_PROG if f + "(" in line]
+    return found
+
+
+def check_file(md_path: str, errors: List[str]) -> None:
+    rel = os.path.relpath(md_path, ROOT)
+    with open(md_path, encoding="utf-8") as fh:
+        text = fh.read()
+
+    blocks = FENCE_RE.findall(text)
+    spans = INLINE_RE.findall(FENCE_RE.sub("", text))
+    code_lines = [ln for block in blocks for ln in block.splitlines()] + spans
+
+    # -- imports inside fenced blocks ---------------------------------
+    for block in blocks:
+        for m in IMPORT_FROM_RE.finditer(block):
+            module, names = m.group(1), [n.strip() for n in m.group(2).split(",")]
+            try:
+                mod = importlib.import_module(module)
+                for name in names:
+                    getattr(mod, name)
+            except (ImportError, AttributeError) as exc:
+                errors.append(f"{rel}: `from {module} import {', '.join(names)}`: {exc}")
+        for m in IMPORT_RE.finditer(block):
+            try:
+                importlib.import_module(m.group(1))
+            except ImportError as exc:
+                errors.append(f"{rel}: `import {m.group(1)}`: {exc}")
+
+    # -- dotted repro.* references in inline code ---------------------
+    for span in spans:
+        for dotted in DOTTED_RE.findall(span):
+            try:
+                _resolve_dotted(dotted)
+            except (ImportError, AttributeError) as exc:
+                errors.append(f"{rel}: `{dotted}` does not resolve: {exc}")
+
+    # -- CLI flags ----------------------------------------------------
+    for line in code_lines:
+        progs = _progs_on_line(line)
+        flags = FLAG_RE.findall(line)
+        if not flags or flags == ["--help"]:
+            continue
+        if progs:
+            for flag in flags:
+                if not any(flag in _help_text(p) for p in progs):
+                    errors.append(f"{rel}: flag {flag} not accepted by {'/'.join(progs)}"
+                                  f" (line: {line.strip()!r})")
+        elif line.strip().startswith("--"):
+            # bare flag span (e.g. an option table): any repro CLI may own it
+            flag = flags[0]
+            if not any(flag in _help_text(p) for p in PROGS):
+                errors.append(f"{rel}: flag {flag} not accepted by any repro command")
+
+    # -- repo paths in code -------------------------------------------
+    for line in code_lines:
+        for path in PATH_RE.findall(line):
+            if path.startswith(GENERATED_PREFIXES):
+                continue
+            if not os.path.exists(os.path.join(ROOT, path)):
+                errors.append(f"{rel}: referenced path {path!r} does not exist")
+
+    # -- local markdown link targets ----------------------------------
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = os.path.join(os.path.dirname(md_path), target.split("#", 1)[0])
+        if not os.path.exists(resolved):
+            errors.append(f"{rel}: broken link {target!r}")
+
+
+def main(argv: List[str]) -> int:
+    files = argv or [os.path.join(ROOT, "README.md")]
+    errors: List[str] = []
+    for path in files:
+        if not os.path.exists(path):
+            errors.append(f"doc file missing: {path}")
+            continue
+        check_file(os.path.abspath(path), errors)
+    if errors:
+        for err in errors:
+            print(f"docs-check: {err}", file=sys.stderr)
+        print(f"docs-check: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"docs-check OK ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
