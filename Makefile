@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench docs-check all
+.PHONY: test bench bench-smoke docs-check ci all
 
 all: test docs-check
 
@@ -14,5 +14,13 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
 
+# Tiny-size run of every bench (REPRO_BENCH_SMOKE=1), asserting each
+# emits its artifact — bench-harness regressions without the bench cost.
+bench-smoke:
+	$(PYTHON) tools/bench_smoke.py
+
 docs-check:
 	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md
+
+# The one-stop regression gate: tests + docs + bench harness.
+ci: test docs-check bench-smoke

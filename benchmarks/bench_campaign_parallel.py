@@ -28,14 +28,18 @@ OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 BENCH_PATH = os.path.join(OUTPUT_DIR, "BENCH_campaign.json")
 
 
-def _bench_sweep():
-    """8 paper-band cases heavy enough to amortize pool startup."""
+def _bench_sweep(smoke=False):
+    """8 paper-band cases heavy enough to amortize pool startup.
+
+    Smoke mode shrinks to a 2-case, short-horizon sweep that still
+    exercises the serial / parallel / cached-replay paths.
+    """
     return sweep_cases(
         mesh_ladder=[(1024, 64, 4)],
-        cfls=(0.3, 0.4, 0.5, 0.6),
-        max_levels=(1, 3),
+        cfls=(0.3, 0.4) if smoke else (0.3, 0.4, 0.5, 0.6),
+        max_levels=(1,) if smoke else (1, 3),
         plot_int=10,
-        max_step=100,
+        max_step=20 if smoke else 100,
     )
 
 
@@ -45,9 +49,9 @@ def _timed(executor, cases, **kwargs):
     return result, time.perf_counter() - t0
 
 
-def test_campaign_parallel_vs_serial(once, emit, tmp_path):
-    cases = _bench_sweep()
-    assert len(cases) >= 8
+def test_campaign_parallel_vs_serial(once, emit, tmp_path, smoke):
+    cases = _bench_sweep(smoke)
+    assert smoke or len(cases) >= 8
     ncpu = multiprocessing.cpu_count()
     jobs = max(2, min(4, ncpu))
 
@@ -94,7 +98,7 @@ def test_campaign_parallel_vs_serial(once, emit, tmp_path):
     emit("BENCH_campaign", json.dumps(payload, indent=1))
 
     assert cached_s < serial_s, "cached replay must beat re-executing the sweep"
-    if ncpu > 1:
+    if ncpu > 1 and not smoke:
         assert parallel_s < serial_s, (
             f"parallel ({parallel_s:.2f}s, jobs={jobs}) must beat "
             f"serial ({serial_s:.2f}s) on a {ncpu}-core host"

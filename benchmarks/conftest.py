@@ -15,6 +15,18 @@ import pytest
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 
+@pytest.fixture(scope="session")
+def smoke():
+    """True under ``make bench-smoke`` (REPRO_BENCH_SMOKE=1).
+
+    Smoke runs shrink the expensive benches to harness checks: every
+    bench still executes its pipeline and emits its artifact, but at
+    tiny sizes and without the scale-dependent assertions — catching
+    bench-harness regressions without the full bench cost.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
 @pytest.fixture
 def emit():
     """emit(name, text): persist one figure/table artifact."""

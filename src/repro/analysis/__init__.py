@@ -7,6 +7,7 @@ from .loadbalance import (
     gini_coefficient,
     imbalance_factor,
     imbalance_report,
+    per_level_loads,
 )
 from .report import format_comparison, format_series, format_table, human_bytes
 
@@ -22,6 +23,7 @@ __all__ = [
     "gini_coefficient",
     "imbalance_factor",
     "imbalance_report",
+    "per_level_loads",
     "format_comparison",
     "format_series",
     "format_table",

@@ -24,20 +24,23 @@ def duty_cycle(schedule: BurstSchedule) -> float:
     return schedule.io_fraction()
 
 
+def _interarrival_cv(timeline: np.ndarray) -> float:
+    if len(timeline) < 3:
+        return 0.0
+    gaps = np.diff(timeline[:, 1])  # column 1 is t_io_start
+    mean = gaps.mean()
+    if mean == 0:
+        return 0.0
+    return float(gaps.std() / mean)
+
+
 def interarrival_cv(schedule: BurstSchedule) -> float:
     """Coefficient of variation of the burst inter-arrival times.
 
     CV ~ 0: metronomic (fixed compute_time + stable storage);
     CV grows with storage variability and load imbalance.
     """
-    starts = np.array([e.t_io_start for e in schedule.events])
-    if len(starts) < 3:
-        return 0.0
-    gaps = np.diff(starts)
-    mean = gaps.mean()
-    if mean == 0:
-        return 0.0
-    return float(gaps.std() / mean)
+    return _interarrival_cv(schedule.timeline())
 
 
 @dataclass(frozen=True)
@@ -63,7 +66,8 @@ def analyze_schedule(schedule: BurstSchedule) -> BurstinessStats:
     """Compute all burstiness metrics for a timeline."""
     if not schedule.events:
         raise ValueError("empty burst schedule")
-    io_times = np.array([e.io_seconds for e in schedule.events])
+    tl = schedule.timeline()
+    io_times = tl[:, 2] - tl[:, 1]  # t_end - t_io_start per event
     return BurstinessStats(
         n_bursts=len(schedule.events),
         wall_seconds=schedule.total_seconds,
@@ -72,5 +76,5 @@ def analyze_schedule(schedule: BurstSchedule) -> BurstinessStats:
         duty_cycle=duty_cycle(schedule),
         mean_burst_seconds=float(io_times.mean()),
         max_burst_seconds=float(io_times.max()),
-        interarrival_cv=interarrival_cv(schedule),
+        interarrival_cv=_interarrival_cv(tl),
     )

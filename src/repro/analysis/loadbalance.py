@@ -8,11 +8,19 @@ imbalance so benches can assert it.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["imbalance_factor", "gini_coefficient", "active_fraction", "imbalance_report"]
+from ..iosim.darshan import IOTrace
+
+__all__ = [
+    "imbalance_factor",
+    "gini_coefficient",
+    "active_fraction",
+    "imbalance_report",
+    "per_level_loads",
+]
 
 
 def imbalance_factor(loads: Sequence[float]) -> float:
@@ -51,6 +59,28 @@ def active_fraction(loads: Sequence[float]) -> float:
     if arr.size == 0:
         raise ValueError("empty load vector")
     return float(np.count_nonzero(arr) / arr.size)
+
+
+def per_level_loads(
+    trace: IOTrace, nprocs: int, step: Optional[int] = None
+) -> Dict[int, np.ndarray]:
+    """level -> per-rank data-byte vector, straight off the columnar trace.
+
+    One vectorized pass builds the Fig. 8 input for every level at once
+    (optionally restricted to one dump); feed the result to
+    :func:`imbalance_report`.
+    """
+    cols = trace.columns()
+    mask = (cols.level >= 0) & cols.kind_is("data")
+    if step is not None:
+        mask &= cols.step == step
+    cols.check_rank_bound(nprocs, mask)
+    lev, rank, nb = cols.level[mask], cols.rank[mask], cols.nbytes[mask]
+    if len(lev) == 0:
+        return {}
+    mat = np.zeros((int(lev.max()) + 1, nprocs), dtype=np.int64)
+    np.add.at(mat, (lev, rank), nb)
+    return {int(l): mat[l] for l in np.unique(lev)}
 
 
 def imbalance_report(per_level_loads: Dict[int, Sequence[float]]) -> Dict[int, Dict[str, float]]:

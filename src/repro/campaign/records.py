@@ -58,14 +58,18 @@ def record_from_result(name: str, result: SimResult, nnodes: int, engine: str) -
     """Distill a SimResult into a RunRecord."""
     inp = result.inputs
     series = build_series(result.trace, inp.ncells_l0)
-    per_level: Dict[str, List[int]] = {}
     steps = [int(s) for s in series.steps]
-    for lev in result.trace.levels():
-        table = {}
-        for r in result.trace:
-            if r.level == lev and r.kind == "data":
-                table[r.step] = table.get(r.step, 0) + r.nbytes
-        per_level[str(lev)] = [int(table.get(s, 0)) for s in steps]
+    # Per-level per-dump data bytes, one vectorized pass over the
+    # columnar trace instead of a full scan per level.
+    per_level: Dict[str, List[int]] = {}
+    levels = result.trace.levels()
+    if levels:
+        cols = result.trace.columns()
+        mask = (cols.level >= 0) & cols.kind_is("data")
+        lev, stp, nb = cols.level[mask], cols.step[mask], cols.nbytes[mask]
+        mat = np.zeros((max(levels) + 1, len(steps)), dtype=np.int64)
+        np.add.at(mat, (lev, np.searchsorted(series.steps, stp)), nb)
+        per_level = {str(l): [int(v) for v in mat[l]] for l in levels}
     last_step = steps[-1]
     task_vec = result.trace.bytes_per_rank(step=last_step, nprocs=result.nprocs)
     return RunRecord(

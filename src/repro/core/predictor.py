@@ -106,10 +106,11 @@ def predict_sizes(
     prediction_burst = None
     if storage is not None:
         topo = topology or JobTopology.summit_default(nprocs)
+        nodes = topo.node_map()  # one build, reused across all dumps
+        per_rank = np.empty(nprocs, dtype=np.int64)
         bursts = []
         for k in range(n_dumps):
-            per_rank = [int(steps[k] / nprocs)] * nprocs
-            nodes = [topo.node_of_rank(r) for r in range(nprocs)]
+            per_rank[:] = int(steps[k] / nprocs)
             bursts.append(storage.burst_time(per_rank, nodes))
         prediction_burst = np.asarray(bursts)
     return SizePrediction(

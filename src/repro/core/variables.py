@@ -54,43 +54,49 @@ class ModelSeries:
         return float(self.y[-1]) if len(self.y) else 0.0
 
 
-def _series_from_per_step(ncells: int, per_step: Dict[int, int]) -> ModelSeries:
-    steps = np.array(sorted(per_step), dtype=np.int64)
-    y_step = np.array([per_step[s] for s in steps], dtype=np.float64)
+def _series_from_arrays(ncells: int, steps: np.ndarray, y_step: np.ndarray) -> ModelSeries:
+    y_step = y_step.astype(np.float64)
     x = (np.arange(len(steps), dtype=np.float64) + 1.0) * float(ncells)
-    return ModelSeries(ncells=ncells, steps=steps, x=x, y_step=y_step, y=np.cumsum(y_step))
+    return ModelSeries(ncells=ncells, steps=steps.astype(np.int64),
+                       x=x, y_step=y_step, y=np.cumsum(y_step))
+
+
+def _metadata_mask(cols, include_metadata: bool) -> np.ndarray:
+    """True where the record should be counted."""
+    if include_metadata:
+        return np.ones(len(cols.step), dtype=bool)
+    return ~cols.kind_is("metadata")
 
 
 def build_series(trace: IOTrace, ncells: int, include_metadata: bool = True) -> ModelSeries:
     """Per-step series over all levels and tasks (the Fig. 5/6 curves)."""
-    per_step: Dict[int, int] = {}
-    for r in trace:
-        if not include_metadata and r.kind == "metadata":
-            continue
-        per_step[r.step] = per_step.get(r.step, 0) + r.nbytes
-    if not per_step:
+    cols = trace.columns()
+    mask = _metadata_mask(cols, include_metadata)
+    step, nb = cols.step[mask], cols.nbytes[mask]
+    if len(step) == 0:
         raise ValueError("trace contains no records")
-    return _series_from_per_step(ncells, per_step)
+    uniq, inverse = np.unique(step, return_inverse=True)
+    sums = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(sums, inverse, nb)
+    return _series_from_arrays(ncells, uniq, sums)
 
 
 def per_level_series(
     trace: IOTrace, ncells: int, include_metadata: bool = False
 ) -> Dict[int, ModelSeries]:
     """One series per AMR level (the Fig. 7 decomposition)."""
-    per: Dict[int, Dict[int, int]] = {}
-    all_steps = sorted({r.step for r in trace})
-    for r in trace:
-        if r.level < 0:
-            continue
-        if not include_metadata and r.kind == "metadata":
-            continue
-        per.setdefault(r.level, {})
-        per[r.level][r.step] = per[r.level].get(r.step, 0) + r.nbytes
+    cols = trace.columns()
+    all_steps = np.unique(cols.step)
+    mask = (cols.level >= 0) & _metadata_mask(cols, include_metadata)
+    lev, step, nb = cols.level[mask], cols.step[mask], cols.nbytes[mask]
+    step_index = np.searchsorted(all_steps, step)
     out: Dict[int, ModelSeries] = {}
-    for lev, table in sorted(per.items()):
+    for l in np.unique(lev):
+        sel = lev == l
         # A level absent at some step contributed zero bytes then.
-        full = {s: table.get(s, 0) for s in all_steps}
-        out[lev] = _series_from_per_step(ncells, full)
+        sums = np.zeros(len(all_steps), dtype=np.int64)
+        np.add.at(sums, step_index[sel], nb[sel])
+        out[int(l)] = _series_from_arrays(ncells, all_steps, sums)
     return out
 
 
@@ -102,14 +108,13 @@ def per_task_series(
     Only data records count (metadata is written by rank 0 and would
     skew the load-balance view).
     """
-    out: Dict[int, np.ndarray] = {}
-    for step in sorted({r.step for r in trace}):
-        vec = np.zeros(nprocs, dtype=np.int64)
-        for r in trace:
-            if r.step != step or r.kind != "data":
-                continue
-            if level is not None and r.level != level:
-                continue
-            vec[r.rank] += r.nbytes
-        out[step] = vec
-    return out
+    cols = trace.columns()
+    all_steps = np.unique(cols.step)
+    mask = cols.kind_is("data")
+    if level is not None:
+        mask &= cols.level == level
+    cols.check_rank_bound(nprocs, mask)
+    step, rank, nb = cols.step[mask], cols.rank[mask], cols.nbytes[mask]
+    mat = np.zeros((len(all_steps), nprocs), dtype=np.int64)
+    np.add.at(mat, (np.searchsorted(all_steps, step), rank), nb)
+    return {int(s): mat[i] for i, s in enumerate(all_steps)}

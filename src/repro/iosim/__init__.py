@@ -1,7 +1,7 @@
 """I/O substrate: filesystem backends, storage timing, traces, Summit."""
 
 from .burst import BurstEvent, BurstSchedule
-from .darshan import IORecord, IOTrace
+from .darshan import IORecord, IOTrace, TraceColumns
 from .filesystem import FileSystem, RealFileSystem, VirtualFileSystem, format_tree
 from .readmodel import RestartCost, optimal_check_interval, restart_read_time
 from .storage import StorageModel, WriteCost
@@ -12,6 +12,7 @@ __all__ = [
     "BurstSchedule",
     "IORecord",
     "IOTrace",
+    "TraceColumns",
     "FileSystem",
     "RealFileSystem",
     "VirtualFileSystem",

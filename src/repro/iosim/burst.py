@@ -63,17 +63,19 @@ class BurstSchedule:
         self.topology = topology
         self.compute_time = compute_time
         self.events: List[BurstEvent] = []
+        # The rank->node map is a pure function of the topology; build it
+        # once instead of once per add_step.
+        self._node_map = topology.node_map()
 
     # ------------------------------------------------------------------
     def add_step(self, step: int, bytes_per_rank: Sequence[int]) -> BurstEvent:
         """Append one compute+burst cycle; returns the event."""
-        nodes = [self.topology.node_of_rank(r) for r in range(self.topology.nprocs)]
-        nb = list(bytes_per_rank)
+        nb = np.asarray(bytes_per_rank, dtype=np.int64)
         if len(nb) != self.topology.nprocs:
             raise ValueError(
                 f"bytes_per_rank has {len(nb)} entries, expected {self.topology.nprocs}"
             )
-        io_s = self.storage.burst_time(nb, nodes)
+        io_s = self.storage.burst_time(nb, self._node_map)
         t0 = self.events[-1].t_end if self.events else 0.0
         ev = BurstEvent(step, t0, self.compute_time, io_s)
         self.events.append(ev)

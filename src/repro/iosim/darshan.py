@@ -1,22 +1,39 @@
-"""Darshan-like I/O trace recorder.
+"""Darshan-like I/O trace recorder (columnar).
 
 Carns et al. (the paper's ref. [19]) characterize application I/O by
-recording per-file counters.  :class:`IOTrace` is the equivalent here:
-writers report each (virtual) file operation and the trace accumulates
-the counters the analysis layer consumes — bytes and file counts per
-step / level / rank, plus burst timings when a storage model is
-attached.
+recording per-file counters rather than event lists.  :class:`IOTrace`
+is the equivalent here: writers report each (virtual) file operation
+and the trace accumulates the counters the analysis layer consumes —
+bytes and file counts per step / level / rank, plus burst timings when
+a storage model is attached.
+
+Storage is *columnar*: one chunked, amortized-doubling ``int64`` array
+per field (step / level / rank / nbytes / kind / path), with paths and
+kinds interned to integer ids.  Every aggregation is a vectorized
+``np.unique`` + ``np.add.at`` pass instead of a Python loop over
+records, which is what makes paper-scale (10^6-record, 131072^2-mesh)
+campaigns tractable.  The public API is unchanged from the event-list
+implementation — :class:`IORecord` objects are materialized lazily for
+iteration — and every aggregation returns byte-identical results.
+
+Error contract: :meth:`IOTrace.bytes_per_rank` raises ``ValueError``
+(naming the offending rank) when a recorded rank falls outside a
+caller-supplied ``nprocs``, instead of corrupting the vector or dying
+with a bare ``IndexError``.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["IORecord", "IOTrace"]
+__all__ = ["IORecord", "IOTrace", "TraceColumns"]
+
+_INITIAL_CAPACITY = 256
+
+_IntOrSeq = Union[int, Sequence[int], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -31,14 +48,156 @@ class IORecord:
     kind: str = "data"  # "data" | "metadata"
 
 
+@dataclass(frozen=True)
+class TraceColumns:
+    """Read-only column views of a trace (step/level/rank are int64).
+
+    ``path`` and ``kind`` hold interned ids; ``paths[path[i]]`` and
+    ``kinds[kind[i]]`` recover the strings.  Consumers that need custom
+    vectorized aggregations (``repro.core.variables``, the analysis
+    layer) work on these instead of looping over :class:`IORecord`s.
+    """
+
+    step: np.ndarray
+    level: np.ndarray
+    rank: np.ndarray
+    nbytes: np.ndarray
+    kind: np.ndarray
+    path: np.ndarray
+    kinds: Tuple[str, ...]
+    paths: Tuple[str, ...]
+
+    def kind_is(self, kind: str) -> np.ndarray:
+        """Boolean mask of records of ``kind`` (all-False if never seen)."""
+        if kind in self.kinds:
+            return self.kind == self.kinds.index(kind)
+        return np.zeros(len(self.kind), dtype=bool)
+
+    def check_rank_bound(self, nprocs: int, mask: Optional[np.ndarray] = None) -> None:
+        """Raise the ``bytes_per_rank`` error contract for out-of-range ranks."""
+        ranks = self.rank if mask is None else self.rank[mask]
+        if len(ranks) and int(ranks.max()) >= nprocs:
+            bad = int(ranks[ranks >= nprocs][0])
+            raise ValueError(
+                f"trace contains rank {bad} but nprocs={nprocs}; "
+                "pass nprocs > the largest recorded rank"
+            )
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    view = arr.view()
+    view.flags.writeable = False
+    return view
+
+
+def _int_bincount(idx: np.ndarray, weights: np.ndarray, minlength: int) -> np.ndarray:
+    """Exact int64 ``bincount(idx, weights)``.
+
+    ``np.bincount`` accumulates weights in float64, which is exact as
+    long as every partial sum stays below 2^53; ``max * count`` bounds
+    them all.  Failing that, splitting each weight into 32-bit halves
+    restores the bound for up to 2^21 records per bin; truly huge
+    inputs fall back to ``np.add.at`` (slower, natively integer).
+    """
+    if len(idx) == 0:
+        return np.zeros(minlength, dtype=np.int64)
+    if int(weights.max()) * len(idx) < (1 << 53):
+        return np.bincount(idx, weights=weights, minlength=minlength).astype(np.int64)
+    if len(idx) < (1 << 21):
+        lo = np.bincount(idx, weights=(weights & 0xFFFFFFFF).astype(np.float64),
+                         minlength=minlength)
+        hi = np.bincount(idx, weights=(weights >> 32).astype(np.float64),
+                         minlength=minlength)
+        return lo.astype(np.int64) + (hi.astype(np.int64) << 32)
+    out = np.zeros(minlength, dtype=np.int64)
+    np.add.at(out, idx, weights)
+    return out
+
+
+# A dense bincount beats a sort-based np.unique until the key span gets
+# much larger than the record count (sparse keys => wasted memory).
+_DENSE_SPAN_CAP = 4
+
+
+def _grouped_sums(keys: np.ndarray, nbytes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(unique keys, int64 byte sums per key) — exact integer arithmetic."""
+    if len(keys) == 0:
+        return keys.astype(np.int64), np.zeros(0, dtype=np.int64)
+    k0 = int(keys.min())
+    span = int(keys.max()) - k0 + 1
+    if span <= max(1024, _DENSE_SPAN_CAP * len(keys)):
+        idx = keys - k0
+        counts = np.bincount(idx, minlength=span)
+        sums = _int_bincount(idx, nbytes, span)
+        present = np.nonzero(counts)[0]
+        return present + k0, sums[present]
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    return uniq, _int_bincount(inverse, nbytes, len(uniq))
+
+
+def _distinct_sorted(vals: np.ndarray) -> List[int]:
+    """Sorted distinct values, bincount-based when the range is dense."""
+    if len(vals) == 0:
+        return []
+    v0 = int(vals.min())
+    span = int(vals.max()) - v0 + 1
+    if span <= max(1024, _DENSE_SPAN_CAP * len(vals)):
+        return (np.nonzero(np.bincount(vals - v0, minlength=span))[0] + v0).tolist()
+    return np.unique(vals).tolist()
+
+
 class IOTrace:
-    """Accumulates write records and answers aggregate queries."""
+    """Accumulates write records columnarly and answers aggregate queries."""
 
     def __init__(self) -> None:
-        self._records: List[IORecord] = []
+        self._n = 0
+        self._cap = _INITIAL_CAPACITY
+        self._step = np.empty(self._cap, dtype=np.int64)
+        self._level = np.empty(self._cap, dtype=np.int64)
+        self._rank = np.empty(self._cap, dtype=np.int64)
+        self._nbytes = np.empty(self._cap, dtype=np.int64)
+        self._kind = np.empty(self._cap, dtype=np.int64)
+        self._path = np.empty(self._cap, dtype=np.int64)
+        self._kind_names: List[str] = []
+        self._kind_ids: Dict[str, int] = {}
+        self._path_names: List[str] = []
+        self._path_ids: Dict[str, int] = {}
         self._burst_seconds: Dict[int, float] = {}
+        # One-entry (step, n, mask) cache: consumers walk a dump with
+        # several queries in a row (per-level, per-rank, file count).
+        self._step_mask_cache: Optional[Tuple[int, int, np.ndarray]] = None
 
     # ------------------------------------------------------------------
+    # append paths
+    # ------------------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._cap:
+            return
+        while self._cap < need:
+            self._cap *= 2
+        for name in ("_step", "_level", "_rank", "_nbytes", "_kind", "_path"):
+            old = getattr(self, name)
+            grown = np.empty(self._cap, dtype=np.int64)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
+    def _intern_kind(self, kind: str) -> int:
+        kid = self._kind_ids.get(kind)
+        if kid is None:
+            kid = len(self._kind_names)
+            self._kind_ids[kind] = kid
+            self._kind_names.append(kind)
+        return kid
+
+    def _intern_path(self, path: str) -> int:
+        pid = self._path_ids.get(path)
+        if pid is None:
+            pid = len(self._path_names)
+            self._path_ids[path] = pid
+            self._path_names.append(path)
+        return pid
+
     def record(
         self,
         step: int,
@@ -50,79 +209,268 @@ class IOTrace:
     ) -> None:
         if nbytes < 0:
             raise ValueError("nbytes cannot be negative")
-        self._records.append(IORecord(step, level, rank, nbytes, path, kind))
+        self._reserve(1)
+        i = self._n
+        self._step[i] = step
+        self._level[i] = level
+        self._rank[i] = rank
+        self._nbytes[i] = nbytes
+        self._kind[i] = self._intern_kind(kind)
+        self._path[i] = self._intern_path(path)
+        self._n = i + 1
+
+    def record_batch(
+        self,
+        step: _IntOrSeq,
+        level: _IntOrSeq,
+        rank: _IntOrSeq,
+        nbytes: _IntOrSeq,
+        paths: Union[str, Sequence[str]],
+        kind: str = "data",
+    ) -> None:
+        """Append many records in one call (the writers' fast path).
+
+        ``step``/``level``/``rank``/``nbytes`` may be scalars or
+        sequences; scalars broadcast against the longest sequence.
+        ``paths`` is one path per record (a single string broadcasts —
+        the SIF shared-file pattern).  Equivalent to calling
+        :meth:`record` in a loop, in order.
+        """
+        single_path = isinstance(paths, str)
+        cols = [np.atleast_1d(np.asarray(c, dtype=np.int64))
+                for c in (step, level, rank, nbytes)]
+        n = max([len(c) for c in cols] + ([1] if single_path else [len(paths)]))
+        if single_path:
+            path_ids = np.full(n, self._intern_path(paths), dtype=np.int64)
+        else:
+            if len(paths) != n and len(paths) != 1:
+                raise ValueError(
+                    f"paths has {len(paths)} entries, batch length is {n}"
+                )
+            intern = self._intern_path
+            path_ids = np.fromiter(
+                (intern(p) for p in paths), dtype=np.int64, count=len(paths)
+            )
+            if len(paths) == 1:
+                path_ids = np.full(n, path_ids[0], dtype=np.int64)
+        try:
+            cols = [np.broadcast_to(c, (n,)) for c in cols]
+        except ValueError:
+            raise ValueError(
+                "step/level/rank/nbytes batch lengths do not broadcast to "
+                f"{n}"
+            ) from None
+        if len(cols[3]) and int(cols[3].min()) < 0:
+            raise ValueError("nbytes cannot be negative")
+        self._reserve(n)
+        lo, hi = self._n, self._n + n
+        self._step[lo:hi] = cols[0]
+        self._level[lo:hi] = cols[1]
+        self._rank[lo:hi] = cols[2]
+        self._nbytes[lo:hi] = cols[3]
+        self._kind[lo:hi] = self._intern_kind(kind)
+        self._path[lo:hi] = path_ids
+        self._n = hi
 
     def record_burst_time(self, step: int, seconds: float) -> None:
         self._burst_seconds[step] = self._burst_seconds.get(step, 0.0) + seconds
 
     # ------------------------------------------------------------------
+    # record access (compatibility with the event-list implementation)
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._records)
+        return self._n
+
+    def _materialize(self, i: int) -> IORecord:
+        return IORecord(
+            int(self._step[i]),
+            int(self._level[i]),
+            int(self._rank[i]),
+            int(self._nbytes[i]),
+            self._path_names[self._path[i]],
+            self._kind_names[self._kind[i]],
+        )
 
     def __iter__(self) -> Iterator[IORecord]:
-        return iter(self._records)
+        return (self._materialize(i) for i in range(self._n))
 
     @property
     def records(self) -> Tuple[IORecord, ...]:
-        return tuple(self._records)
+        return tuple(self)
+
+    def columns(self) -> TraceColumns:
+        """Read-only columnar views for custom vectorized aggregations."""
+        n = self._n
+        return TraceColumns(
+            step=_readonly(self._step[:n]),
+            level=_readonly(self._level[:n]),
+            rank=_readonly(self._rank[:n]),
+            nbytes=_readonly(self._nbytes[:n]),
+            kind=_readonly(self._kind[:n]),
+            path=_readonly(self._path[:n]),
+            kinds=tuple(self._kind_names),
+            paths=tuple(self._path_names),
+        )
+
+    # ------------------------------------------------------------------
+    # masks
+    # ------------------------------------------------------------------
+    def _kind_mask(self, kind: Optional[str]) -> Optional[np.ndarray]:
+        """None = all records; all-False when the kind was never seen."""
+        if kind is None:
+            return None
+        kid = self._kind_ids.get(kind)
+        if kid is None:
+            return np.zeros(self._n, dtype=bool)
+        return self._kind[: self._n] == kid
+
+    def _step_mask(self, step: int) -> np.ndarray:
+        cached = self._step_mask_cache
+        if cached is not None and cached[0] == step and cached[1] == self._n:
+            return cached[2]
+        mask = self._step[: self._n] == step
+        self._step_mask_cache = (step, self._n, mask)
+        return mask
 
     # ------------------------------------------------------------------
     # aggregations — the (timestep, level, task) hierarchy of Fig. 2
     # ------------------------------------------------------------------
     def steps(self) -> List[int]:
-        return sorted({r.step for r in self._records})
+        return _distinct_sorted(self._step[: self._n])
 
     def levels(self) -> List[int]:
-        return sorted({r.level for r in self._records if r.level >= 0})
+        lev = self._level[: self._n]
+        return _distinct_sorted(lev[lev >= 0])
 
     def total_bytes(self, kind: Optional[str] = None) -> int:
-        return sum(r.nbytes for r in self._records if kind is None or r.kind == kind)
+        mask = self._kind_mask(kind)
+        nb = self._nbytes[: self._n]
+        return int(nb.sum() if mask is None else nb[mask].sum())
 
-    def bytes_per_step(self) -> Dict[int, int]:
-        out: Dict[int, int] = defaultdict(int)
-        for r in self._records:
-            out[r.step] += r.nbytes
-        return dict(out)
+    def bytes_per_step(self, kind: Optional[str] = None) -> Dict[int, int]:
+        step = self._step[: self._n]
+        nb = self._nbytes[: self._n]
+        mask = self._kind_mask(kind)
+        if mask is not None:
+            step, nb = step[mask], nb[mask]
+        uniq, sums = _grouped_sums(step, nb)
+        return dict(zip(uniq.tolist(), sums.tolist()))
 
-    def bytes_per_level(self, step: Optional[int] = None) -> Dict[int, int]:
-        out: Dict[int, int] = defaultdict(int)
-        for r in self._records:
-            if r.level < 0:
-                continue
-            if step is None or r.step == step:
-                out[r.level] += r.nbytes
-        return dict(out)
+    def bytes_per_level(
+        self, step: Optional[int] = None, kind: Optional[str] = None
+    ) -> Dict[int, int]:
+        lev = self._level[: self._n]
+        nb = self._nbytes[: self._n]
+        mask = None
+        if step is not None:
+            mask = self._step_mask(step)
+        kmask = self._kind_mask(kind)
+        if kmask is not None:
+            mask = kmask if mask is None else mask & kmask
+        if mask is not None:
+            lev, nb = lev[mask], nb[mask]
+        # Grouping by level already separates the negative (metadata)
+        # levels — drop them from the result instead of pre-masking.
+        uniq, sums = _grouped_sums(lev, nb)
+        return {l: v for l, v in zip(uniq.tolist(), sums.tolist()) if l >= 0}
 
     def bytes_per_rank(
-        self, step: Optional[int] = None, level: Optional[int] = None, nprocs: Optional[int] = None
+        self,
+        step: Optional[int] = None,
+        level: Optional[int] = None,
+        nprocs: Optional[int] = None,
+        kind: Optional[str] = None,
     ) -> np.ndarray:
-        n = nprocs if nprocs is not None else (max((r.rank for r in self._records), default=-1) + 1)
-        out = np.zeros(max(n, 0), dtype=np.int64)
-        for r in self._records:
-            if step is not None and r.step != step:
-                continue
-            if level is not None and r.level != level:
-                continue
-            out[r.rank] += r.nbytes
-        return out
+        """Per-rank byte vector of length ``nprocs`` (or max rank + 1).
+
+        Raises ``ValueError`` naming the offending rank when a selected
+        record's rank is outside ``range(nprocs)`` — a trace recorded
+        with more ranks than the caller claims is a caller bug, not an
+        index fault.
+        """
+        all_ranks = self._rank[: self._n]
+        nb = self._nbytes[: self._n]
+        mask = None
+        if step is not None:
+            mask = self._step_mask(step)
+        if level is not None:
+            lmask = self._level[: self._n] == level
+            mask = lmask if mask is None else mask & lmask
+        kmask = self._kind_mask(kind)
+        if kmask is not None:
+            mask = kmask if mask is None else mask & kmask
+        ranks = all_ranks if mask is None else all_ranks[mask]
+        if mask is not None:
+            nb = nb[mask]
+        if len(ranks) and int(ranks.min()) < 0:
+            bad = int(ranks[ranks < 0][0])
+            raise ValueError(f"record has negative rank {bad}")
+        # Default width covers every recorded rank (filtered or not),
+        # matching the event-list implementation.
+        n = nprocs if nprocs is not None else (
+            int(all_ranks.max()) + 1 if self._n else 0
+        )
+        if nprocs is not None and len(ranks) and int(ranks.max()) >= nprocs:
+            bad = int(ranks[ranks >= nprocs][0])
+            raise ValueError(
+                f"trace contains rank {bad} but nprocs={nprocs}; "
+                "pass nprocs > the largest recorded rank"
+            )
+        if n <= 0:
+            return np.zeros(0, dtype=np.int64)
+        return _int_bincount(ranks, nb, n)
 
     def bytes_step_level_rank(self) -> Dict[Tuple[int, int, int], int]:
         """The full (timestep, level, task) -> bytes mapping (Eq. 2's y)."""
-        out: Dict[Tuple[int, int, int], int] = defaultdict(int)
-        for r in self._records:
-            out[(r.step, r.level, r.rank)] += r.nbytes
-        return dict(out)
+        n = self._n
+        if n == 0:
+            return {}
+        step = self._step[:n]
+        level = self._level[:n]
+        rank = self._rank[:n]
+        # Composite int64 key: offset each column to >= 0, mix by range.
+        s0, l0, r0 = int(step.min()), int(level.min()), int(rank.min())
+        sspan = int(step.max()) - s0 + 1
+        lspan = int(level.max()) - l0 + 1
+        rspan = int(rank.max()) - r0 + 1
+        if sspan * lspan * rspan >= 2**63:
+            # Composite key would overflow int64: group row-wise instead.
+            rows = np.stack([step, level, rank], axis=1)
+            uniq_rows, inverse = np.unique(rows, axis=0, return_inverse=True)
+            sums = _int_bincount(inverse, self._nbytes[:n], len(uniq_rows))
+            return {
+                (int(s), int(l), int(r)): int(v)
+                for (s, l, r), v in zip(uniq_rows, sums)
+            }
+        key = step - s0  # new array; in-place ops avoid more temporaries
+        key *= lspan
+        key += level
+        key -= l0
+        key *= rspan
+        key += rank
+        key -= r0
+        uniq, sums = _grouped_sums(key, self._nbytes[:n])
+        # Decode composite keys back to (step, level, rank).
+        q, rr = np.divmod(uniq, rspan)
+        ss, ll = np.divmod(q, lspan)
+        return {
+            (s + s0, l + l0, r + r0): v
+            for s, l, r, v in zip(ss.tolist(), ll.tolist(), rr.tolist(), sums.tolist())
+        }
 
     def file_count(self, step: Optional[int] = None) -> int:
-        paths = {r.path for r in self._records if step is None or r.step == step}
-        return len(paths)
+        paths = self._path[: self._n]
+        if step is not None:
+            paths = paths[self._step_mask(step)]
+        if len(paths) == 0:
+            return 0
+        # Path ids are dense by construction: count distinct via bincount.
+        return int(np.count_nonzero(np.bincount(paths, minlength=len(self._path_names))))
 
     def cumulative_bytes_by_step(self) -> Tuple[np.ndarray, np.ndarray]:
         """(steps, cumulative bytes) series — the y-axis of Fig. 5."""
-        per = self.bytes_per_step()
-        steps = np.array(sorted(per), dtype=np.int64)
-        sizes = np.array([per[s] for s in steps], dtype=np.float64)
-        return steps, np.cumsum(sizes)
+        uniq, sums = _grouped_sums(self._step[: self._n], self._nbytes[: self._n])
+        return uniq.astype(np.int64), np.cumsum(sums.astype(np.float64))
 
     def burst_seconds(self) -> Dict[int, float]:
         return dict(self._burst_seconds)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["FileSystem", "VirtualFileSystem", "RealFileSystem", "format_tree"]
 
@@ -37,6 +37,19 @@ class FileSystem:
     def write_size(self, path: str, nbytes: int) -> int:
         """Record a file of ``nbytes`` without materializing content."""
         raise NotImplementedError
+
+    def write_many(self, paths: Sequence[str], sizes: Sequence[int]) -> int:
+        """Record many size-only files in one call; returns total bytes.
+
+        Equivalent to ``write_size`` in a loop — the batched entry the
+        N-to-N writers use so a whole level's dump is one filesystem
+        call.  Backends may override with a bulk implementation.
+        """
+        if len(paths) != len(sizes):
+            raise ValueError(
+                f"write_many got {len(paths)} paths but {len(sizes)} sizes"
+            )
+        return sum(self.write_size(p, int(n)) for p, n in zip(paths, sizes))
 
     def append_bytes(self, path: str, data: bytes) -> int:
         raise NotImplementedError
@@ -103,6 +116,28 @@ class VirtualFileSystem(FileSystem):
         if self._content is not None:
             self._content[path] = b"\0" * int(nbytes)
         return int(nbytes)
+
+    def write_many(self, paths: Sequence[str], sizes: Sequence[int]) -> int:
+        """Bulk ``write_size``: one dict update for a whole burst."""
+        if len(paths) != len(sizes):
+            raise ValueError(
+                f"write_many got {len(paths)} paths but {len(sizes)} sizes"
+            )
+        entries = {}
+        total = 0
+        for p, n in zip(paths, sizes):
+            n = int(n)
+            if n < 0:
+                raise ValueError("file size cannot be negative")
+            p = _normalize(p)
+            self._ensure_parent(p)
+            entries[p] = n
+            total += n
+        self._sizes.update(entries)
+        if self._content is not None:
+            for p, n in entries.items():
+                self._content[p] = b"\0" * n
+        return total
 
     def append_bytes(self, path: str, data: bytes) -> int:
         path = _normalize(path)
@@ -206,18 +241,33 @@ class RealFileSystem(FileSystem):
 
 
 def format_tree(fs: FileSystem, prefix: str = "", max_entries: int = 200) -> str:
-    """ASCII rendering of the file tree with sizes (Figs. 2 & 3 style)."""
+    """ASCII rendering of the file tree with sizes (Figs. 2 & 3 style).
+
+    With a non-empty ``prefix`` the tree is rendered *relative to* the
+    prefix — one root line for the prefix directory itself, entries
+    indented from there — rather than replaying every ancestor
+    directory at its absolute depth.
+    """
+    prefix = _normalize(prefix)
     paths = fs.files(prefix)
     lines: List[str] = []
     shown_dirs: set = set()
+    if not paths:
+        return ""
+    strip = len(prefix.split("/")) if prefix else 0
+    base = 0
+    if prefix and paths != [prefix]:
+        # prefix is a directory: one root line, children relative to it
+        lines.append(prefix.split("/")[-1] + "/")
+        base = 1
     for p in paths[:max_entries]:
-        parts = p.split("/")
+        parts = p.split("/")[strip:] if p != prefix else [p.split("/")[-1]]
         for depth in range(len(parts) - 1):
             d = "/".join(parts[: depth + 1])
             if d not in shown_dirs:
                 shown_dirs.add(d)
-                lines.append("  " * depth + parts[depth] + "/")
-        lines.append("  " * (len(parts) - 1) + f"{parts[-1]}  [{fs.size(p)} B]")
+                lines.append("  " * (base + depth) + parts[depth] + "/")
+        lines.append("  " * (base + len(parts) - 1) + f"{parts[-1]}  [{fs.size(p)} B]")
     if len(paths) > max_entries:
         lines.append(f"... ({len(paths) - max_entries} more files)")
     return "\n".join(lines)

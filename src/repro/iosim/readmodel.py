@@ -52,16 +52,10 @@ def restart_read_time(
     if read_bandwidth_factor <= 0:
         raise ValueError("read_bandwidth_factor must be positive")
     topo = topology or JobTopology.summit_default(nprocs)
-    per_rank = np.zeros(nprocs, dtype=np.int64)
-    for r in trace:
-        if r.step == step and r.kind == "data":
-            per_rank[r.rank] += r.nbytes
+    per_rank = trace.bytes_per_rank(step=step, nprocs=nprocs, kind="data")
     data_bytes = int(per_rank.sum())
-    meta_bytes = sum(
-        r.nbytes for r in trace if r.step == step and r.kind == "metadata"
-    )
-    nodes = [topo.node_of_rank(r) for r in range(nprocs)]
-    write_equiv = storage.burst_time(per_rank.tolist(), nodes)
+    meta_bytes = trace.bytes_per_step(kind="metadata").get(step, 0)
+    write_equiv = storage.burst_time(per_rank, topo.node_map())
     read_s = write_equiv / read_bandwidth_factor
     # Every rank stats+reads the shared metadata files.
     meta_s = storage.metadata_latency * max(1, nprocs) ** 0.5 + (

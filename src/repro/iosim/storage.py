@@ -102,6 +102,12 @@ class StorageModel:
         Every rank writes its file simultaneously; ranks on the same node
         share injection bandwidth for the duration of the burst (a
         conservative static-contention approximation).
+
+        Noise stability guarantee: variability noise is drawn as one
+        rank-indexed batch per burst (rank ``r`` always consumes draws
+        ``2r`` and ``2r + 1`` of the burst's batch), so appending idle
+        (zero-byte) ranks never changes the noise — and therefore the
+        modeled time — of the existing ranks.
         """
         nb = np.asarray(bytes_per_rank, dtype=np.int64)
         n = len(nb)
@@ -113,19 +119,23 @@ class StorageModel:
             nodes = np.asarray(node_of_rank, dtype=np.int64)
             if nodes.shape != nb.shape:
                 raise ValueError("node_of_rank must match bytes_per_rank length")
-        times = np.empty(n, dtype=np.float64)
         # Count active writers per node (ranks with nonzero work still pay
         # metadata; a rank with no file at a level writes nothing).
         active = nb > 0
-        per_node_active = {}
-        for node in np.unique(nodes):
-            per_node_active[int(node)] = max(1, int(active[nodes == node].sum()))
-        for r in range(n):
-            if not active[r]:
-                times[r] = 0.0
-                continue
-            cost = self.write_time(int(nb[r]), per_node_active[int(nodes[r])])
-            times[r] = cost.seconds
+        node_ids, node_index = np.unique(nodes, return_inverse=True)
+        per_node_active = np.bincount(
+            node_index, weights=active, minlength=len(node_ids)
+        ).astype(np.int64)
+        concurrent = np.maximum(per_node_active[node_index], 1)
+        bw = np.minimum(self.stream_bandwidth, self.node_bandwidth / concurrent)
+        if self.variability == 0.0:
+            meta_noise = xfer_noise = 1.0
+        else:
+            # One batched draw per burst, indexed by rank: row r is rank
+            # r's (metadata, transfer) noise pair whatever n is.
+            noise = np.exp(self._rng.normal(0.0, self.variability, size=(n, 2)))
+            meta_noise, xfer_noise = noise[:, 0], noise[:, 1]
+        times = (self.metadata_latency * meta_noise + nb / bw * xfer_noise) * active
         return float(times.max())
 
     # ------------------------------------------------------------------

@@ -108,15 +108,11 @@ def run_macsio(
         growth_scale = params.dataset_growth**dump
         per_rank = np.zeros(nprocs, dtype=np.int64)
         if params.parallel_file_mode == "SIF":
-            total = 0
             for r in range(nprocs):
-                nb = _task_data_bytes(params, part, nparts[r], growth_scale)
-                per_rank[r] = nb
-                total += nb
+                per_rank[r] = _task_data_bytes(params, part, nparts[r], growth_scale)
             path = f"data/{data_filename(0, dump)}"
-            fs.write_size(path, total)
-            for r in range(nprocs):
-                trace.record(dump, 0, r, int(per_rank[r]), path, kind="data")
+            fs.write_size(path, int(per_rank.sum()))
+            trace.record_batch(dump, 0, np.arange(nprocs), per_rank, path, kind="data")
         else:
             # MIF: tasks grouped over `files_per_dump` files (baton
             # passing); file_count == nprocs is the paper's N-to-N.
@@ -126,18 +122,22 @@ def run_macsio(
                 nb = _task_data_bytes(params, part, nparts[r], growth_scale)
                 per_rank[r] = nb
                 group_bytes[group_of[r]] = group_bytes.get(group_of[r], 0) + nb
-            for g, total in sorted(group_bytes.items()):
-                path = f"data/{data_filename(g, dump)}"
-                if materialize and params.interface == "miftmpl" and files_per_dump == nprocs:
+            groups = sorted(group_bytes)
+            if materialize and params.interface == "miftmpl" and files_per_dump == nprocs:
+                for g in groups:
                     text = render_part_json(part, g, dump)
-                    fs.write_text(path, text)
-                else:
-                    fs.write_size(path, total)
-            for r in range(nprocs):
-                trace.record(
-                    dump, 0, r, int(per_rank[r]),
-                    f"data/{data_filename(group_of[r], dump)}", kind="data",
+                    fs.write_text(f"data/{data_filename(g, dump)}", text)
+            else:
+                # One batched call for the dump's whole MIF/N-to-N burst.
+                fs.write_many(
+                    [f"data/{data_filename(g, dump)}" for g in groups],
+                    [group_bytes[g] for g in groups],
                 )
+            trace.record_batch(
+                dump, 0, np.arange(nprocs), per_rank,
+                [f"data/{data_filename(group_of[r], dump)}" for r in range(nprocs)],
+                kind="data",
+            )
         # Root metadata file (rank 0 writes it).
         root_text = root_json_text(nprocs, dump, nparts, params.meta_size)
         root_path = f"metadata/{root_filename(dump)}"
@@ -145,6 +145,6 @@ def run_macsio(
         trace.record(dump, 0, 0, nb_root, root_path, kind="metadata")
         run.bytes_per_dump.append(int(per_rank.sum()) + nb_root)
         if schedule is not None:
-            ev = schedule.add_step(dump, per_rank.tolist())
+            ev = schedule.add_step(dump, per_rank)
             trace.record_burst_time(dump, ev.io_seconds)
     return run

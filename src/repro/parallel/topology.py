@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+import numpy as np
+
 __all__ = ["JobTopology"]
 
 
@@ -41,6 +43,15 @@ class JobTopology:
         if not (0 <= rank < self.nprocs):
             raise ValueError(f"rank {rank} out of range")
         return rank // self.ranks_per_node
+
+    def node_map(self) -> np.ndarray:
+        """``node_map()[r] == node_of_rank(r)`` as one int64 vector.
+
+        The storage model consumes per-rank node ids on every burst;
+        building them vectorized (and caching the result at the call
+        site) avoids an O(nprocs) Python loop per timestep.
+        """
+        return np.arange(self.nprocs, dtype=np.int64) // self.ranks_per_node
 
     def ranks_on_node(self, node: int) -> List[int]:
         rpn = self.ranks_per_node

@@ -126,9 +126,11 @@ def write_plotfile(
         minmax: List[Tuple[List[float], List[float]]] = [
             ([0.0] * nvars, [0.0] * nvars) for _ in range(len(ba))
         ]
-        for rank in sorted(rank_boxes):
-            fname = f"Cell_D_{rank:05d}"
-            path = f"{ldir}/{fname}"
+        ranks = sorted(rank_boxes)
+        paths = [f"{ldir}/Cell_D_{rank:05d}" for rank in ranks]
+        sizes: List[int] = []
+        for rank, path in zip(ranks, paths):
+            fname = path.rsplit("/", 1)[-1]
             offset = 0
             chunks: List[bytes] = []
             for k in rank_boxes[rank]:
@@ -153,11 +155,15 @@ def write_plotfile(
                 else:
                     offset += fab_nbytes(box, nvars)
             if state is not None:
-                nbytes = fs.write_bytes(path, b"".join(chunks))
+                sizes.append(fs.write_bytes(path, b"".join(chunks)))
             else:
-                nbytes = fs.write_size(path, offset)
-            if trace is not None:
-                trace.record(step, lev, rank, nbytes, path, kind="data")
+                sizes.append(offset)
+        if state is None:
+            # Size mode: the whole level's N-to-N burst is one batched
+            # filesystem call instead of a write per task.
+            fs.write_many(paths, sizes)
+        if trace is not None and ranks:
+            trace.record_batch(step, lev, ranks, sizes, paths, kind="data")
         cellh = build_cellh_text(
             ba,
             nvars,

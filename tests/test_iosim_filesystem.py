@@ -116,6 +116,37 @@ class TestFormatTree:
         out = format_tree(fs, max_entries=10)
         assert "more files" in out
 
+    def test_prefix_renders_relative(self):
+        # A deep prefix must not replay its ancestors or start the
+        # tree several indent levels in.
+        fs = VirtualFileSystem()
+        fs.write_bytes("runs/caseA/plt00000/Header", b"h" * 10)
+        fs.write_bytes("runs/caseA/plt00000/Level_0/Cell_D_00000", b"d" * 100)
+        fs.write_bytes("runs/caseB/other", b"x")
+        out = format_tree(fs, prefix="runs/caseA/plt00000")
+        lines = out.splitlines()
+        assert lines[0] == "plt00000/"
+        assert "runs/" not in out and "caseA/" not in out and "caseB" not in out
+        assert "  Header  [10 B]" in lines
+        assert "  Level_0/" in lines
+        assert "    Cell_D_00000  [100 B]" in lines
+
+    def test_prefix_of_single_file(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("a/b/file.bin", b"1234")
+        out = format_tree(fs, prefix="a/b/file.bin")
+        assert out == "file.bin  [4 B]"
+
+    def test_empty_prefix_unchanged(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("d/x", b"1")
+        assert format_tree(fs).splitlines()[0] == "d/"
+
+    def test_missing_prefix_renders_nothing(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("real/file", b"1")
+        assert format_tree(fs, prefix="missing/dir") == ""
+
 
 @given(st.dictionaries(
     st.from_regex(r"[a-z]{1,6}(/[a-z]{1,6}){0,3}", fullmatch=True),

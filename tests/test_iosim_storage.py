@@ -113,6 +113,34 @@ class TestIOTrace:
         tr.record(0, 0, 1, 1, "other")
         assert tr.file_count() == 2
 
+    def test_kind_filters(self):
+        tr = IOTrace()
+        tr.record(0, -1, 0, 10, "Header", kind="metadata")
+        tr.record(0, 0, 1, 90, "d0")
+        tr.record(1, 0, 1, 70, "d1")
+        assert tr.bytes_per_step(kind="metadata") == {0: 10}
+        assert tr.bytes_per_step(kind="data") == {0: 90, 1: 70}
+        assert list(tr.bytes_per_rank(kind="data")) == [0, 160]
+        assert tr.bytes_per_level(kind="metadata") == {}
+
+    def test_rank_exceeding_nprocs_raises(self):
+        tr = IOTrace()
+        tr.record(0, 0, 7, 5, "f")
+        with pytest.raises(ValueError, match="rank 7"):
+            tr.bytes_per_rank(nprocs=4)
+
+    def test_columns_read_only_views(self):
+        tr = IOTrace()
+        tr.record(0, 0, 0, 10, "a")
+        tr.record(1, -1, 0, 3, "H", kind="metadata")
+        cols = tr.columns()
+        assert list(cols.step) == [0, 1]
+        assert list(cols.nbytes) == [10, 3]
+        assert cols.kinds[cols.kind[1]] == "metadata"
+        assert cols.paths[cols.path[0]] == "a"
+        with pytest.raises(ValueError):
+            cols.nbytes[0] = 99
+
 
 class TestBurstSchedule:
     def _sched(self, compute=1.0):

@@ -106,6 +106,12 @@ class TestTopology:
         topo = JobTopology.summit_default(32, ranks_per_node=16)
         assert topo.nnodes == 2
 
+    def test_node_map_matches_node_of_rank(self):
+        topo = JobTopology(nprocs=7, nnodes=3)
+        nm = topo.node_map()
+        assert nm.dtype == np.int64
+        assert list(nm) == [topo.node_of_rank(r) for r in range(7)]
+
 
 @given(st.integers(1, 64), st.integers(1, 16))
 def test_every_rank_on_exactly_one_node(nprocs, nnodes):

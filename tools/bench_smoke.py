@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""bench-smoke: tiny-size run of every benchmark, artifact-checked.
+
+Runs the full ``benchmarks/bench_*.py`` suite with ``REPRO_BENCH_SMOKE=1``
+(the expensive benches shrink to harness checks — see the ``smoke``
+fixture in ``benchmarks/conftest.py``), then asserts that every artifact
+a bench declares via a literal ``emit("name", ...)`` call (plus the
+``BENCH_*.json`` timing artifacts) was freshly written to
+``benchmarks/output/``.  Catches bench-harness regressions — a bench
+that stops emitting, a JSON artifact that stops parsing — without the
+full bench cost.
+
+Run via ``make bench-smoke`` or::
+
+    PYTHONPATH=src python tools/bench_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from typing import Dict, List
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+BENCH_DIR = os.path.join(ROOT, "benchmarks")
+OUTPUT_DIR = os.path.join(BENCH_DIR, "output")
+
+EMIT_RE = re.compile(r'emit\(\s*f?"([\w.-]+)"')
+JSON_RE = re.compile(r'BENCH_PATH\s*=\s*os\.path\.join\(OUTPUT_DIR,\s*"([\w.-]+\.json)"')
+
+
+def expected_artifacts() -> Dict[str, List[str]]:
+    """bench file -> artifact filenames declared by literal emit calls."""
+    out: Dict[str, List[str]] = {}
+    for name in sorted(os.listdir(BENCH_DIR)):
+        if not (name.startswith("bench_") and name.endswith(".py")):
+            continue
+        with open(os.path.join(BENCH_DIR, name), encoding="utf-8") as fh:
+            text = fh.read()
+        artifacts = [f"{m}.txt" for m in EMIT_RE.findall(text)]
+        artifacts += JSON_RE.findall(text)
+        out[name] = sorted(set(artifacts))
+    return out
+
+
+def main() -> int:
+    expected = expected_artifacts()
+    start = time.time()
+    env = dict(os.environ, REPRO_BENCH_SMOKE="1")
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks", "-q",
+         "-o", "python_files=bench_*.py", "-p", "no:cacheprovider"],
+        cwd=ROOT, env=env,
+    )
+    if proc.returncode != 0:
+        print("bench-smoke: pytest failed", file=sys.stderr)
+        return proc.returncode
+
+    errors: List[str] = []
+    for bench, artifacts in expected.items():
+        if not artifacts:
+            errors.append(f"{bench}: declares no emit(...) artifact")
+        for artifact in artifacts:
+            path = os.path.join(OUTPUT_DIR, artifact)
+            if not os.path.exists(path):
+                errors.append(f"{bench}: artifact {artifact} missing")
+                continue
+            if os.path.getmtime(path) < start:
+                errors.append(f"{bench}: artifact {artifact} not rewritten by this run")
+            elif artifact.endswith(".json"):
+                try:
+                    with open(path, encoding="utf-8") as fh:
+                        json.load(fh)
+                except ValueError as exc:
+                    errors.append(f"{bench}: artifact {artifact} is not valid JSON: {exc}")
+    if errors:
+        for err in errors:
+            print(f"bench-smoke: {err}", file=sys.stderr)
+        print(f"bench-smoke: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    n = sum(len(a) for a in expected.values())
+    print(f"bench-smoke OK ({len(expected)} benches, {n} artifacts)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
