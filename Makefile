@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke docs-check ci all
+.PHONY: test bench bench-smoke bench-solver docs-check ci all
 
 all: test docs-check
 
@@ -13,6 +13,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
+
+# Full-size run of the AMR solver hot-path bench (plan-cached vs seed
+# loops); asserts the >=3x steps/sec floor and writes BENCH_solver.json.
+bench-solver:
+	$(PYTHON) -m pytest benchmarks/bench_solver_hotpath.py -q -o python_files='bench_*.py'
 
 # Tiny-size run of every bench (REPRO_BENCH_SMOKE=1), asserting each
 # emits its artifact — bench-harness regressions without the bench cost.

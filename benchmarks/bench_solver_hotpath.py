@@ -1,0 +1,208 @@
+"""Plan-cached AMR solver hot path vs. the seed per-step loops.
+
+The ``engine="solver"`` campaign cases pay, every step and every level,
+a ghost exchange plus a batch of per-fab reductions.  The seed
+implementation rescans all fab pairs per step per component
+(O(N²·ncomp) Python) and reduces fab by fab; the plan-cached path builds
+the exchange plan once per layout and replays it, and batches the
+reductions into one NumPy pass per level.
+
+This bench runs the same *hot-path step* — ``fill_boundary`` +
+``stable_dt`` + ``min``/``max``/``sum`` + ``bytes_per_rank``, the
+substrate portion of a level advance (the Godunov kernel is identical
+in both paths and excluded to isolate the substrate) — through
+
+1. **seed** — the pre-PR loops, kept verbatim below, and
+2. **plan-cached** — the current :mod:`repro.amr.multifab` /
+   :mod:`repro.hydro.solver` implementations,
+
+at three mesh sizes, asserts the two paths stay bit-identical (ghost
+contents, dt, every reduction), and emits
+``benchmarks/output/BENCH_solver.json``.  At the largest mesh the
+plan-cached path must be >= 3x steps/sec; each row also isolates the
+ghost-exchange itself (seed scan vs plan replay), where the win is
+largest.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the meshes to a harness check (artifact
+still emitted; the speedup floor is only asserted at full size).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.distribution import round_robin_map
+from repro.amr.geometry import Geometry
+from repro.amr.multifab import MultiFab
+from repro.hydro.eos import GammaLawEOS
+from repro.hydro.sedov import SedovProblem, initialize_multifab
+from repro.hydro.solver import LevelSolver
+from repro.hydro.state import NCOMP, cons_to_prim
+from repro.hydro.timestep import cfl_timestep
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+BENCH_PATH = os.path.join(OUTPUT_DIR, "BENCH_solver.json")
+
+# (mesh cells per side, max_grid_size) -> 16 / 64 / 1024 fabs
+FULL_MESHES = ((128, 32), (256, 32), (512, 16))
+SMOKE_MESHES = ((32, 16), (64, 16))
+FULL_STEPS = 6
+SMOKE_STEPS = 2
+NPROCS = 8
+SPEEDUP_FLOOR = 3.0  # steps/sec at the largest full mesh
+
+EOS = GammaLawEOS()
+
+
+# ----------------------------------------------------------------------
+# The seed implementations, verbatim (the baseline).
+# ----------------------------------------------------------------------
+def seed_fill_boundary(mf):
+    if mf.nghost == 0:
+        return
+    for dst in mf.fabs:
+        gb = dst.grown_box
+        for src in mf.fabs:
+            if src is dst:
+                continue
+            overlap = gb.intersection(src.box)
+            if overlap is None:
+                continue
+            for c in range(mf.ncomp):
+                dst.view(overlap, c)[...] = src.view(overlap, c)
+
+
+def seed_stable_dt(geom, mf, cfl):
+    dx, dy = geom.cell_size
+    dts = []
+    for fab in mf:
+        W = cons_to_prim(fab.interior(), EOS)
+        dts.append(cfl_timestep(W, dx, dy, cfl, EOS))
+    return min(dts)
+
+
+def seed_bytes_per_rank(mf):
+    out = np.zeros(mf.distribution.nprocs, dtype=np.int64)
+    for k, fab in enumerate(mf.fabs):
+        out[mf.distribution[k]] += fab.nbytes_valid()
+    return out
+
+
+# ----------------------------------------------------------------------
+def make_level(n, max_grid):
+    boxes = [
+        Box((i, j), (i + max_grid - 1, j + max_grid - 1))
+        for i in range(0, n, max_grid)
+        for j in range(0, n, max_grid)
+    ]
+    ba = BoxArray(boxes)
+    geom = Geometry(Box.cell_centered(n, n))
+    mf = MultiFab(ba, round_robin_map(ba, NPROCS), NCOMP, nghost=2)
+    initialize_multifab(SedovProblem(r_init=0.1), mf, geom, EOS)
+    return geom, mf
+
+
+def seed_step(geom, mf):
+    seed_fill_boundary(mf)
+    return (
+        seed_stable_dt(geom, mf, 0.5),
+        min(float(f.interior(0).min()) for f in mf),
+        max(float(f.interior(0).max()) for f in mf),
+        sum(float(f.interior(0).sum()) for f in mf),
+        seed_bytes_per_rank(mf).tolist(),
+    )
+
+
+def cached_step(solver, mf):
+    mf.fill_boundary()
+    return (
+        solver.stable_dt(mf, 0.5),
+        mf.min(0),
+        mf.max(0),
+        mf.sum(0),
+        mf.bytes_per_rank().tolist(),
+    )
+
+
+def _bench_one_mesh(n, max_grid, nsteps):
+    geom, mf_seed = make_level(n, max_grid)
+    _, mf_cached = make_level(n, max_grid)
+    solver = LevelSolver(geom, EOS)
+
+    t0 = time.perf_counter()
+    seed_out = [seed_step(geom, mf_seed) for _ in range(nsteps)]
+    seed_s = time.perf_counter() - t0
+
+    # plan build cost is *inside* the timed region: the first step pays
+    # it, the remaining steps replay — exactly what a run experiences
+    t0 = time.perf_counter()
+    cached_out = [cached_step(solver, mf_cached) for _ in range(nsteps)]
+    cached_s = time.perf_counter() - t0
+
+    assert cached_out == seed_out, f"hot-path outputs diverge at n={n}"
+    for sf, cf in zip(mf_seed, mf_cached):
+        assert np.array_equal(sf.data, cf.data), (
+            f"ghost contents diverge at n={n} box {sf.box}"
+        )
+
+    # Exchange-only breakdown: the seed's pairwise rescan vs replaying
+    # the (already built) plan — the component the plan cache targets.
+    t0 = time.perf_counter()
+    for _ in range(nsteps):
+        seed_fill_boundary(mf_seed)
+    fill_seed_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(nsteps):
+        mf_cached.fill_boundary()
+    fill_replay_s = time.perf_counter() - t0
+
+    seed_sps = nsteps / max(seed_s, 1e-9)
+    cached_sps = nsteps / max(cached_s, 1e-9)
+    return {
+        "mesh": n,
+        "nfabs": len(mf_seed),
+        "steps": nsteps,
+        "seed_s": round(seed_s, 4),
+        "cached_s": round(cached_s, 4),
+        "seed_steps_per_s": round(seed_sps, 2),
+        "cached_steps_per_s": round(cached_sps, 2),
+        "speedup": round(cached_sps / max(seed_sps, 1e-9), 2),
+        "fill_seed_s": round(fill_seed_s, 4),
+        "fill_replay_s": round(fill_replay_s, 4),
+        "fill_speedup": round(fill_seed_s / max(fill_replay_s, 1e-9), 2),
+    }
+
+
+def test_solver_hotpath_vs_seed(once, emit, smoke):
+    meshes = SMOKE_MESHES if smoke else FULL_MESHES
+    nsteps = SMOKE_STEPS if smoke else FULL_STEPS
+    _bench_one_mesh(*SMOKE_MESHES[0], nsteps=1)  # warm numpy kernels
+
+    rows = [_bench_one_mesh(n, mg, nsteps) for n, mg in meshes[:-1]]
+    # the largest mesh doubles as the pytest-benchmark-registered timing
+    rows.append(once(_bench_one_mesh, *meshes[-1], nsteps))
+
+    payload = {
+        "meshes": [list(m) for m in meshes],
+        "smoke": smoke,
+        "steps_per_mesh": nsteps,
+        "nprocs": NPROCS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "rows": rows,
+    }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+    emit("BENCH_solver", json.dumps(payload, indent=1))
+
+    if not smoke:
+        top = rows[-1]
+        assert top["mesh"] == FULL_MESHES[-1][0]
+        assert top["speedup"] >= SPEEDUP_FLOOR, (
+            f"plan-cached hot path only {top['speedup']}x the seed path at "
+            f"{top['mesh']}^2 / {top['nfabs']} fabs (floor {SPEEDUP_FLOOR}x)"
+        )

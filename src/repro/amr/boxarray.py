@@ -8,6 +8,7 @@ statistics that feed the I/O accounting (cells per box, cells total).
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -15,6 +16,8 @@ import numpy as np
 from .box import Box, bounding_box
 
 __all__ = ["BoxArray"]
+
+_token_counter = itertools.count(1)
 
 
 class BoxArray:
@@ -29,6 +32,12 @@ class BoxArray:
 
     def __init__(self, boxes: Iterable[Box] = ()) -> None:
         self._boxes: List[Box] = list(boxes)
+        # Identity token: BoxArrays are immutable after construction, so
+        # a per-instance generation number is a cheap cache key for
+        # layout-derived plans (ghost-exchange plans, distribution
+        # reuse).  Two arrays with equal boxes still get distinct
+        # tokens; equality of *content* is ``__eq__``.
+        self._token: int = next(_token_counter)
 
     # ------------------------------------------------------------------
     # container protocol
@@ -53,6 +62,20 @@ class BoxArray:
     @property
     def boxes(self) -> Sequence[Box]:
         return tuple(self._boxes)
+
+    @property
+    def token(self) -> int:
+        """Per-instance identity/generation key for cached plans."""
+        return self._token
+
+    def same_boxes(self, other: "BoxArray") -> bool:
+        """Content equality with an identity fast path.
+
+        Used by the regrid amortization: comparing tokens first makes
+        the common "layout unchanged, same object threaded through"
+        case O(1) instead of an O(n) box-list compare.
+        """
+        return self._token == other._token or self._boxes == other._boxes
 
     # ------------------------------------------------------------------
     # metrics

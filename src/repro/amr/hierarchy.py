@@ -9,7 +9,7 @@ layout) drives all the I/O sizes the paper measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,6 +107,13 @@ class AmrHierarchy:
         base_domain = Box.cell_centered(*params.n_cell)
         base_geom = Geometry(base_domain, prob_lo, prob_hi)
         self.levels: List[LevelState] = []
+        # Amortization counters: how often regrid could keep a level's
+        # existing LevelState (box layout unchanged) vs. rebuild it.
+        self.regrid_stats: Dict[str, int] = {
+            "regrids": 0,
+            "levels_reused": 0,
+            "levels_rebuilt": 0,
+        }
         self._init_base_level(base_geom)
 
     # ------------------------------------------------------------------
@@ -139,9 +146,17 @@ class AmrHierarchy:
         marking cells that need refinement.  Levels are rebuilt from the
         base upward, with proper nesting enforced by construction (fine
         tags are clipped into the coarser level's own covered region).
+
+        Rebuilds are *amortized*: when the clustered fine BoxArray is
+        unchanged from the current layout of that level, the existing
+        :class:`LevelState` (including its distribution mapping) is kept
+        instead of being re-chopped and re-distributed — between nearby
+        regrids of a slowly moving shock most levels are identical.
+        ``regrid_stats`` counts reuse vs. rebuild.
         """
         p = self.params
         new_levels: List[LevelState] = [self.levels[0]]
+        self.regrid_stats["regrids"] += 1
         for lev in range(p.max_level):
             coarse = new_levels[lev]
             tags = np.asarray(tag_fn(lev, coarse.geom), dtype=bool)
@@ -180,8 +195,17 @@ class AmrHierarchy:
                 )
             if len(ba) == 0:
                 break
+            old = self.levels[lev + 1] if lev + 1 < len(self.levels) else None
+            if old is not None and old.boxarray.same_boxes(ba):
+                # Layout unchanged: keep the level (and its distribution)
+                # — any MultiFab built on its BoxArray keeps a valid
+                # exchange plan, since the BoxArray token is unchanged.
+                new_levels.append(old)
+                self.regrid_stats["levels_reused"] += 1
+                continue
             dm = make_distribution(ba, self.nprocs, self.distribution_strategy)
             new_levels.append(LevelState(lev + 1, fine_geom, ba, dm))
+            self.regrid_stats["levels_rebuilt"] += 1
         self.levels = new_levels
 
     # ------------------------------------------------------------------

@@ -93,6 +93,24 @@ def _alarm(seconds: Optional[float]):
             signal.signal(signal.SIGALRM, previous)
 
 
+# Shared run_case kwargs for pool workers, installed once per worker by
+# the pool initializer.  The seed pickled the kwargs dict (fs, problem,
+# coefficients, ...) into every task submission — once per *case*; the
+# initializer ships it once per *worker*, so task payloads stay tiny.
+_WORKER_KWARGS: Dict = {}
+
+
+def _init_worker(kwargs: Dict) -> None:
+    global _WORKER_KWARGS
+    _WORKER_KWARGS = kwargs
+
+
+def _execute_case_pooled(case: Case,
+                         timeout: Optional[float] = None) -> Tuple[str, object, float]:
+    """Pool-side wrapper: run one case against the worker's installed kwargs."""
+    return _execute_case(case, _WORKER_KWARGS, timeout)
+
+
 def _execute_case(case: Case, kwargs: Dict,
                   timeout: Optional[float] = None) -> Tuple[str, object, float]:
     """Worker-side unit of work: run one case, never raise.
@@ -143,10 +161,15 @@ class CampaignExecutor:
         every fresh record is persisted as soon as it completes.
 
     With ``max_workers > 1``, caller-supplied stateful kwargs (e.g. a
-    ``fs=VirtualFileSystem()``) are pickled into each worker: the
-    records come back identical to a serial run, but side effects land
-    on the workers' copies, not the caller's object.  Use
-    ``max_workers=1`` when inspecting such state after the run.
+    ``fs=VirtualFileSystem()``) are shipped to each worker once by the
+    pool initializer: the records come back identical to a serial run,
+    but side effects land on the workers' copies, not the caller's
+    object.  Caveat: when a pool cannot overlap work (one pending
+    case, a single-CPU host, or a worker count that collapses to one)
+    the sweep runs inline even for ``max_workers > 1`` — records are
+    identical either way, but side effects then land on the caller's
+    objects.  Use ``max_workers=1`` when inspecting such state after
+    the run; don't rely on the pool for isolation.
     """
 
     def __init__(
@@ -196,7 +219,20 @@ class CampaignExecutor:
                 pending.append(case)
 
         if pending:
-            if self.max_workers == 1 or len(pending) == 1:
+            # A pool is a pure loss when it cannot actually overlap work:
+            # one pending case or a single-core host.  Run inline in
+            # those cases — same records, none of the fork/pickle
+            # overhead.  Exception: off the main thread the inline
+            # SIGALRM timeout degrades to a no-op, so when a timeout is
+            # set there, keep the pool — worker processes are the only
+            # place the limit can still be enforced.
+            inline = self.max_workers == 1
+            if not inline and (len(pending) == 1 or multiprocessing.cpu_count() == 1):
+                inline = (
+                    self.timeout is None
+                    or threading.current_thread() is threading.main_thread()
+                )
+            if inline:
                 self._run_serial(pending, keys, outcomes, run_case_kwargs, progress)
             else:
                 self._run_parallel(pending, keys, outcomes, run_case_kwargs, progress)
@@ -258,7 +294,12 @@ class CampaignExecutor:
         use_fork = sys.platform.startswith("linux") and "fork" in methods
         ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
         nproc = min(self.max_workers, len(pending))
-        pool = ProcessPoolExecutor(max_workers=nproc, mp_context=ctx)
+        # Shared kwargs travel once per worker (initializer), not once
+        # per case: submissions below carry only (case, timeout).
+        pool = ProcessPoolExecutor(
+            max_workers=nproc, mp_context=ctx,
+            initializer=_init_worker, initargs=(kwargs,),
+        )
 
         # Future.result() can unblock before the future's done-callbacks
         # have run, so count callbacks and wait for the flush below —
@@ -280,7 +321,7 @@ class CampaignExecutor:
         try:
             futures = {}
             for case in order_by_cost(pending):
-                fut = pool.submit(_execute_case, case, kwargs, self.timeout)
+                fut = pool.submit(_execute_case_pooled, case, self.timeout)
                 fut.add_done_callback(partial(_on_complete, case))
                 futures[case.name] = fut
             # Collect in input order.  Case timeouts are enforced inside

@@ -19,7 +19,7 @@ from .boundary import BC, apply_boundary
 from .eos import GammaLawEOS
 from .flux import NGHOST_REQUIRED, advance_patch
 from .state import cons_to_prim
-from .timestep import cfl_timestep
+from .timestep import cfl_timestep, max_signal_speed
 
 __all__ = ["HydroOptions", "LevelSolver"]
 
@@ -77,14 +77,46 @@ class LevelSolver:
             apply_boundary(fab.data, g, lo_bc, hi_bc)
 
     # ------------------------------------------------------------------
+    # Below this many cells per fab (average), per-fab NumPy call
+    # overhead dominates the reduction and gathering the level into one
+    # (ncomp, ncells) pass wins; above it, cache-resident per-fab passes
+    # beat the memory-bound level-wide temporaries.  Measured crossover
+    # is between 16² and 32² fabs.
+    BATCH_DT_CELLS_PER_FAB = 512
+
     def stable_dt(self, mf: MultiFab, cfl: float) -> float:
-        """Min CFL dt over all fabs of the level."""
+        """Min CFL dt over all fabs of the level.
+
+        ``min_f(cfl / s_f) == cfl / max_f(s_f)`` exactly (IEEE division
+        is monotone), so the dt can be taken as a single division by the
+        level-wide max signal speed — bit-identical to the seed's
+        per-fab ``min`` of dts.  For many-small-fab layouts the interiors
+        are gathered into one ``(ncomp, ncells)`` array first, so
+        ``cons_to_prim`` and the speed reduction run once per level
+        instead of once per fab.
+        """
         dx, dy = self.geom.cell_size
-        dts = []
+        if len(mf) == 0:
+            raise ValueError("empty MultiFab")
+        if len(mf) == 1:
+            W = cons_to_prim(mf[0].interior(), self.eos)
+            return cfl_timestep(W, dx, dy, cfl, self.eos)
+        if mf.boxarray.numpts < self.BATCH_DT_CELLS_PER_FAB * len(mf):
+            # Sole intentional divergence from the seed: a *single* fab
+            # with vanished wave speeds no longer raises here unless the
+            # whole level's speeds vanish (the seed raised per fab).
+            U = np.concatenate(
+                [fab.interior().reshape(mf.ncomp, -1) for fab in mf], axis=1
+            )
+            W = cons_to_prim(U, self.eos)
+            return cfl_timestep(W, dx, dy, cfl, self.eos)
+        smax = 0.0
         for fab in mf:
-            W = cons_to_prim(fab.interior(), self.eos)
-            dts.append(cfl_timestep(W, dx, dy, cfl, self.eos))
-        return min(dts)
+            s = max_signal_speed(cons_to_prim(fab.interior(), self.eos), dx, dy, self.eos)
+            if s <= 0.0:
+                raise ValueError("wave speeds vanished; cannot compute a CFL step")
+            smax = max(smax, s)
+        return cfl / smax
 
     # ------------------------------------------------------------------
     def advance(self, mf: MultiFab, dt: float) -> None:

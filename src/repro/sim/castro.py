@@ -32,7 +32,7 @@ from ..hydro.boundary import BC, apply_boundary
 from ..hydro.eos import GammaLawEOS
 from ..hydro.flux import NGHOST_REQUIRED, advance_patch
 from ..hydro.sedov import SedovProblem
-from ..hydro.state import NCOMP, URHO, cons_to_prim
+from ..hydro.state import NCOMP, QP, URHO, cons_to_prim
 from ..hydro.timestep import TimestepController, cfl_timestep
 from ..iosim.darshan import IOTrace
 from ..iosim.filesystem import FileSystem, VirtualFileSystem
@@ -147,8 +147,6 @@ class CastroSim:
         return self._field_at_level(self._U[URHO, g:-g, g:-g], level)
 
     def _pressure_at_level(self, level: int) -> np.ndarray:
-        from ..hydro.state import QP
-
         g = self._g
         W = cons_to_prim(self._U[:, g:-g, g:-g], self.eos)
         return self._field_at_level(W[QP], level)
@@ -158,14 +156,37 @@ class CastroSim:
 
         At t=0 the blast is a pure pressure discontinuity (density is
         uniform), so pressure tagging is what seeds the initial refined
-        levels around the energy source.
+        levels around the energy source.  (Seed-path form, one full
+        ``cons_to_prim`` per level; :meth:`regrid` uses the batched
+        equivalent.)
         """
         return tag_gradient(
             self._density_at_level(level), self.tag_criteria
         ) | tag_gradient(self._pressure_at_level(level), self.tag_criteria)
 
     def regrid(self) -> None:
-        self.hierarchy.regrid(self._tag_fn)
+        """Regrid from density/pressure gradient tags.
+
+        The fine-resolution density and pressure fields are computed
+        once per regrid — one ``cons_to_prim`` pass over the mesh —
+        and only *restricted* per level inside the tag callback,
+        instead of the seed's full-mesh primitive recompute per level.
+        Restriction still runs directly from the fine field, so the
+        tags are bit-identical to :meth:`_tag_fn`'s.
+        """
+        g = self._g
+        interior = self._U[:, g:-g, g:-g]
+        rho = interior[URHO]
+        pressure = cons_to_prim(interior, self.eos)[QP]
+
+        def tag_fn(level: int, geom) -> np.ndarray:
+            return tag_gradient(
+                self._field_at_level(rho, level), self.tag_criteria
+            ) | tag_gradient(
+                self._field_at_level(pressure, level), self.tag_criteria
+            )
+
+        self.hierarchy.regrid(tag_fn)
 
     # ------------------------------------------------------------------
     def _fine_advance_once(self) -> float:

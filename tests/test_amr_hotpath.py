@@ -1,0 +1,417 @@
+"""Equivalence suite for the plan-cached AMR solver hot path.
+
+Every optimization in the hot path (plan-cached ``fill_boundary``,
+vectorized ``buffer_tags``, amortized ``AmrHierarchy.regrid``, batched
+``LevelSolver.stable_dt`` / ``MultiFab.bytes_per_rank``) is pinned
+*bit-identical* against the seed implementations, which are kept here
+verbatim as the reference.  The final test replays a whole solver-engine
+``CastroSim`` run with the seed paths monkeypatched back in and demands
+an identical ``SimResult``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.amr.hierarchy as hierarchy_mod
+from repro.amr.box import Box
+from repro.amr.boxarray import BoxArray
+from repro.amr.cluster import ClusterParams, berger_rigoutsos
+from repro.amr.distribution import make_distribution, round_robin_map
+from repro.amr.geometry import Geometry
+from repro.amr.grid import make_level_grids
+from repro.amr.hierarchy import AmrHierarchy, AmrParams, LevelState
+from repro.amr.multifab import MultiFab, regrid_multifab
+from repro.amr.tagging import buffer_tags
+from repro.hydro.eos import GammaLawEOS
+from repro.hydro.sedov import SedovProblem, initialize_multifab
+from repro.hydro.solver import LevelSolver
+from repro.hydro.state import NCOMP
+from repro.hydro.timestep import cfl_timestep
+from repro.hydro.state import cons_to_prim
+from repro.sim.castro import CastroSim
+from repro.sim.inputs import CastroInputs
+
+EOS = GammaLawEOS()
+
+
+# ----------------------------------------------------------------------
+# Seed reference implementations (verbatim from the pre-PR code)
+# ----------------------------------------------------------------------
+def seed_fill_boundary(mf: MultiFab) -> None:
+    if mf.nghost == 0:
+        return
+    for dst in mf.fabs:
+        gb = dst.grown_box
+        for src in mf.fabs:
+            if src is dst:
+                continue
+            overlap = gb.intersection(src.box)
+            if overlap is None:
+                continue
+            for c in range(mf.ncomp):
+                dst.view(overlap, c)[...] = src.view(overlap, c)
+
+
+def seed_buffer_tags(tags: np.ndarray, n_buf: int) -> np.ndarray:
+    if n_buf <= 0:
+        return tags.copy()
+    out = tags.copy()
+    for _ in range(n_buf):
+        grown = out.copy()
+        grown[:-1, :] |= out[1:, :]
+        grown[1:, :] |= out[:-1, :]
+        grown[:, :-1] |= out[:, 1:]
+        grown[:, 1:] |= out[:, :-1]
+        out = grown
+    return out
+
+
+def seed_stable_dt(solver: LevelSolver, mf: MultiFab, cfl: float) -> float:
+    dx, dy = solver.geom.cell_size
+    dts = []
+    for fab in mf:
+        W = cons_to_prim(fab.interior(), solver.eos)
+        dts.append(cfl_timestep(W, dx, dy, cfl, solver.eos))
+    return min(dts)
+
+
+def seed_bytes_per_rank(mf: MultiFab) -> np.ndarray:
+    out = np.zeros(mf.distribution.nprocs, dtype=np.int64)
+    for k, fab in enumerate(mf.fabs):
+        out[mf.distribution[k]] += fab.nbytes_valid()
+    return out
+
+
+def seed_regrid(self, tag_fn) -> None:
+    """The seed AmrHierarchy.regrid: full rebuild of every level."""
+    p = self.params
+    new_levels = [self.levels[0]]
+    for lev in range(p.max_level):
+        coarse = new_levels[lev]
+        tags = np.asarray(tag_fn(lev, coarse.geom), dtype=bool)
+        expect = coarse.geom.domain.shape
+        if tags.shape != expect:
+            raise ValueError(
+                f"tag array for level {lev} has shape {tags.shape}, "
+                f"expected domain shape {expect}"
+            )
+        tags = seed_buffer_tags(tags, p.n_error_buf)
+        if lev > 0:
+            mask = np.zeros(expect, dtype=bool)
+            for b in coarse.boxarray:
+                mask[b.slices()] = True
+            tags &= mask
+        if not tags.any():
+            break
+        clustered = berger_rigoutsos(
+            tags, origin=(0, 0), params=ClusterParams(grid_eff=p.grid_eff)
+        )
+        fine_boxes = [b.refine(p.ref_ratio) for b in clustered]
+        fine_domain = coarse.geom.domain.refine(p.ref_ratio)
+        fine_geom = coarse.geom.refine(p.ref_ratio)
+        ba = make_level_grids(
+            fine_boxes, fine_domain, p.grid_params(), min_grids=self.nprocs
+        )
+        if lev > 0:
+            from repro.amr.grid import clip_boxarray
+
+            ba = clip_boxarray(
+                ba, coarse.boxarray.refine(p.ref_ratio), p.max_grid_size
+            )
+        if len(ba) == 0:
+            break
+        dm = make_distribution(ba, self.nprocs, self.distribution_strategy)
+        new_levels.append(LevelState(lev + 1, fine_geom, ba, dm))
+    self.levels = new_levels
+
+
+# ----------------------------------------------------------------------
+# layouts
+# ----------------------------------------------------------------------
+def grid_layout(nx=32, ny=32, bx=8, by=8):
+    """A bx-by tiling of the nx x ny domain."""
+    boxes = []
+    for i in range(0, nx, bx):
+        for j in range(0, ny, by):
+            boxes.append(Box((i, j), (i + bx - 1, j + by - 1)))
+    return BoxArray(boxes)
+
+
+def uneven_layout():
+    """Unequal boxes, still disjoint and domain-covering."""
+    return BoxArray(
+        [
+            Box((0, 0), (15, 23)),
+            Box((0, 24), (15, 31)),
+            Box((16, 0), (31, 7)),
+            Box((16, 8), (31, 31)),
+        ]
+    )
+
+
+LAYOUTS = {
+    "two-box": BoxArray([Box((0, 0), (15, 31)), Box((16, 0), (31, 31))]),
+    "4x4-grid": grid_layout(),
+    "uneven": uneven_layout(),
+}
+
+
+def random_multifab(ba, ncomp=4, nghost=2, nprocs=3, seed=0):
+    mf = MultiFab(ba, round_robin_map(ba, nprocs), ncomp, nghost=nghost)
+    rng = np.random.default_rng(seed)
+    for fab in mf:
+        fab.data[...] = rng.random(fab.data.shape)
+    return mf
+
+
+def annulus_tagger(radius, width):
+    def tag_fn(level, geom):
+        X, Y = geom.cell_centers(geom.domain)
+        r = np.sqrt(X**2 + Y**2)
+        return np.abs(r - radius) < width
+
+    return tag_fn
+
+
+# ----------------------------------------------------------------------
+# fill_boundary
+# ----------------------------------------------------------------------
+class TestFillBoundaryPlan:
+    @pytest.mark.parametrize("name", sorted(LAYOUTS))
+    @pytest.mark.parametrize("ncomp", [1, 4])
+    def test_ghosts_bit_identical_to_seed(self, name, ncomp):
+        ba = LAYOUTS[name]
+        planned = random_multifab(ba, ncomp=ncomp, seed=7)
+        reference = random_multifab(ba, ncomp=ncomp, seed=7)
+        planned.fill_boundary()
+        seed_fill_boundary(reference)
+        for pf, rf in zip(planned, reference):
+            assert np.array_equal(pf.data, rf.data)
+
+    def test_replay_after_data_change(self):
+        """Second call must replay the cached plan on the new data."""
+        ba = LAYOUTS["4x4-grid"]
+        planned = random_multifab(ba, seed=1)
+        planned.fill_boundary()
+        plan = planned.exchange_plan()
+        reference = random_multifab(ba, seed=99)
+        for pf, rf in zip(planned, reference):
+            pf.data[...] = rf.data
+        planned.fill_boundary()
+        assert planned.exchange_plan() is plan  # cached, not rebuilt
+        seed_fill_boundary(reference)
+        for pf, rf in zip(planned, reference):
+            assert np.array_equal(pf.data, rf.data)
+
+    def test_nghost_zero_is_noop(self):
+        ba = LAYOUTS["two-box"]
+        mf = random_multifab(ba, nghost=0, seed=3)
+        before = [fab.data.copy() for fab in mf]
+        mf.fill_boundary()
+        for fab, b in zip(mf, before):
+            assert np.array_equal(fab.data, b)
+        assert mf.exchange_plan() == []  # no overlaps without ghosts
+
+    def test_plan_invalidates_on_boxarray_swap(self):
+        """A new BoxArray (regrid) must key a fresh plan automatically."""
+        mf = random_multifab(LAYOUTS["two-box"], seed=5)
+        first = mf.exchange_plan()
+        assert mf.exchange_plan() is first
+        # same box *content*, new identity -> new token -> rebuilt plan
+        mf.boxarray = BoxArray(LAYOUTS["two-box"].boxes)
+        assert mf.exchange_plan() is not first
+        assert mf.exchange_plan() == first  # same layout, same plan content
+
+    def test_explicit_invalidation(self):
+        mf = random_multifab(LAYOUTS["uneven"], seed=6)
+        first = mf.exchange_plan()
+        mf.invalidate_exchange_plan()
+        rebuilt = mf.exchange_plan()
+        assert rebuilt is not first and rebuilt == first
+
+
+# ----------------------------------------------------------------------
+# buffer_tags
+# ----------------------------------------------------------------------
+class TestBufferTagsVectorized:
+    @pytest.mark.parametrize("n_buf", [0, 1, 2, 3, 5])
+    @pytest.mark.parametrize("shape", [(16, 16), (7, 13), (1, 9), (33, 2)])
+    def test_matches_seed_dilation(self, n_buf, shape):
+        rng = np.random.default_rng(n_buf * 101 + shape[0])
+        tags = rng.random(shape) < 0.1
+        assert np.array_equal(buffer_tags(tags, n_buf), seed_buffer_tags(tags, n_buf))
+
+    def test_single_tag_diamond(self):
+        tags = np.zeros((9, 9), bool)
+        tags[4, 4] = True
+        out = buffer_tags(tags, 2)
+        ii, jj = np.nonzero(out)
+        assert (np.abs(ii - 4) + np.abs(jj - 4) <= 2).all()
+        assert out.sum() == 13  # |L1 ball of radius 2|
+
+    def test_input_not_mutated(self):
+        tags = np.zeros((8, 8), bool)
+        tags[3, 3] = True
+        buffer_tags(tags, 2)
+        assert tags.sum() == 1
+
+
+# ----------------------------------------------------------------------
+# regrid amortization
+# ----------------------------------------------------------------------
+class TestAmortizedRegrid:
+    def params(self):
+        return AmrParams(n_cell=(64, 64), max_level=2, max_grid_size=16)
+
+    def test_static_tags_reuse_level_states(self):
+        h = AmrHierarchy(self.params(), nprocs=4)
+        tagger = annulus_tagger(0.4, 0.08)
+        h.regrid(tagger)
+        before = list(h.levels)
+        h.regrid(tagger)
+        for lev in range(1, len(h.levels)):
+            assert h.levels[lev] is before[lev]  # reused, not rebuilt
+        assert h.regrid_stats["regrids"] == 2
+        assert h.regrid_stats["levels_reused"] == len(h.levels) - 1
+
+    def test_moved_tags_rebuild_and_match_seed(self):
+        tagger_a = annulus_tagger(0.3, 0.08)
+        tagger_b = annulus_tagger(0.55, 0.08)
+        h = AmrHierarchy(self.params(), nprocs=4)
+        h.regrid(tagger_a)
+        h.regrid(tagger_b)
+        reference = AmrHierarchy(self.params(), nprocs=4)
+        seed_regrid(reference, tagger_a)
+        seed_regrid(reference, tagger_b)
+        assert len(h.levels) == len(reference.levels)
+        for mine, ref in zip(h.levels, reference.levels):
+            assert list(mine.boxarray.boxes) == list(ref.boxarray.boxes)
+            assert mine.distribution.ranks == ref.distribution.ranks
+        assert h.regrid_stats["levels_rebuilt"] >= 1
+
+    def test_regrid_multifab_reuses_on_unchanged_layout(self):
+        h = AmrHierarchy(self.params(), nprocs=2)
+        h.regrid(annulus_tagger(0.4, 0.08))
+        lev = h.levels[1]
+        mf = MultiFab(lev.boxarray, lev.distribution, NCOMP, nghost=2)
+        assert regrid_multifab(mf, lev.boxarray, lev.distribution) is mf
+
+    def test_regrid_multifab_moves_overlapping_data(self):
+        h = AmrHierarchy(self.params(), nprocs=2)
+        h.regrid(annulus_tagger(0.35, 0.1))
+        old_lev = h.levels[1]
+        mf = random_multifab(old_lev.boxarray, nprocs=2, seed=12)
+        dense = {}
+        for fab in mf:
+            dense[fab.box] = fab.interior().copy()
+        h.regrid(annulus_tagger(0.45, 0.1))
+        new_lev = h.levels[1]
+        assert list(new_lev.boxarray.boxes) != list(old_lev.boxarray.boxes)
+        moved = regrid_multifab(mf, new_lev.boxarray, new_lev.distribution)
+        assert moved is not mf
+        for nfab in moved:
+            for obox, odata in dense.items():
+                overlap = nfab.box.intersection(obox)
+                if overlap is None:
+                    continue
+                got = nfab.interior()[
+                    (slice(None),) + overlap.slices(nfab.box.lo)
+                ]
+                want = odata[(slice(None),) + overlap.slices(obox.lo)]
+                assert np.array_equal(got, want)
+
+    def test_regrid_mid_run_invalidates_plan(self):
+        """The regrid-mid-run lifecycle: plan keys follow the BoxArray."""
+        h = AmrHierarchy(self.params(), nprocs=2)
+        h.regrid(annulus_tagger(0.35, 0.1))
+        mf = random_multifab(h.levels[1].boxarray, nprocs=2, seed=13)
+        mf.fill_boundary()
+        old_key = mf._exchange_key
+        h.regrid(annulus_tagger(0.5, 0.1))
+        moved = regrid_multifab(
+            mf, h.levels[1].boxarray, h.levels[1].distribution
+        )
+        moved.fill_boundary()
+        assert moved._exchange_key != old_key
+        reference = MultiFab(
+            moved.boxarray, moved.distribution, moved.ncomp, moved.nghost
+        )
+        for rf, mfab in zip(reference, moved):
+            rf.data[...] = mfab.data
+        # re-randomize ghosts so the exchange has work to do, then compare
+        seed_fill_boundary(reference)
+        moved.fill_boundary()
+        for rf, mfab in zip(reference, moved):
+            assert np.array_equal(rf.data, mfab.data)
+
+
+# ----------------------------------------------------------------------
+# batched reductions
+# ----------------------------------------------------------------------
+class TestBatchedReductions:
+    def sedov_level(self, nboxes=4):
+        nx = 32
+        w = nx // nboxes
+        ba = BoxArray([Box((k * w, 0), ((k + 1) * w - 1, nx - 1)) for k in range(nboxes)])
+        geom = Geometry(Box.cell_centered(nx, nx))
+        mf = MultiFab(ba, round_robin_map(ba, 2), NCOMP, nghost=2)
+        initialize_multifab(SedovProblem(r_init=0.1), mf, geom, EOS)
+        return geom, mf
+
+    @pytest.mark.parametrize("nboxes", [1, 2, 4])
+    def test_stable_dt_bit_identical(self, nboxes):
+        geom, mf = self.sedov_level(nboxes)
+        solver = LevelSolver(geom, EOS)
+        assert solver.stable_dt(mf, 0.5) == seed_stable_dt(solver, mf, 0.5)
+
+    def test_bytes_per_rank_bit_identical(self):
+        for ba in LAYOUTS.values():
+            mf = random_multifab(ba, nprocs=5, seed=21)
+            assert np.array_equal(mf.bytes_per_rank(), seed_bytes_per_rank(mf))
+            assert mf.bytes_per_rank().dtype == np.int64
+
+    def test_empty_multifab_named_errors(self):
+        mf = MultiFab(BoxArray([]), round_robin_map(BoxArray([]), 1), NCOMP)
+        with pytest.raises(ValueError, match="empty MultiFab"):
+            mf.min(0)
+        with pytest.raises(ValueError, match="empty MultiFab"):
+            mf.max(0)
+        solver = LevelSolver(Geometry(Box.cell_centered(8, 8)), EOS)
+        with pytest.raises(ValueError, match="empty MultiFab"):
+            solver.stable_dt(mf, 0.5)
+        assert mf.bytes_per_rank().tolist() == [0]
+
+
+# ----------------------------------------------------------------------
+# whole-run equivalence
+# ----------------------------------------------------------------------
+class TestSimResultEquivalence:
+    def small_inputs(self):
+        return CastroInputs(
+            n_cell=(32, 32),
+            max_level=2,
+            max_step=6,
+            plot_int=3,
+            regrid_int=2,
+            cfl=0.5,
+            stop_time=1e9,
+            max_grid_size=16,
+            blocking_factor=8,
+        )
+
+    def test_castro_run_bit_identical_to_seed_paths(self, monkeypatch):
+        """Full solver-engine run vs. the seed hot path, bit for bit."""
+        fast = CastroSim(self.small_inputs(), nprocs=4).run()
+
+        monkeypatch.setattr(hierarchy_mod.AmrHierarchy, "regrid", seed_regrid)
+        monkeypatch.setattr(
+            CastroSim, "regrid", lambda self: self.hierarchy.regrid(self._tag_fn)
+        )
+        seed = CastroSim(self.small_inputs(), nprocs=4).run()
+
+        assert fast.steps_taken == seed.steps_taken
+        assert fast.final_time == seed.final_time
+        assert fast.mass_history == seed.mass_history
+        assert fast.outputs == seed.outputs
+        assert len(fast.trace) == len(seed.trace)
+        assert fast.trace.bytes_step_level_rank() == seed.trace.bytes_step_level_rank()

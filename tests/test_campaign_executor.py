@@ -66,6 +66,24 @@ class TestExecutor:
         with pytest.raises(ValueError):
             CampaignExecutor(max_workers=0)
 
+    def test_pool_path_matches_serial_even_on_one_cpu(self):
+        """Drive _run_parallel directly: on a single-core host run()
+        falls back to the inline path, so this is the only coverage of
+        the pool + initializer-shipped-kwargs machinery there."""
+        from repro.iosim.filesystem import VirtualFileSystem
+
+        cases = small_sweep(2)
+        ex = CampaignExecutor(max_workers=2)
+        keys = {c.name: None for c in cases}
+        kwargs = {"fs": VirtualFileSystem(), "distribution_strategy": "sfc"}
+        serial_out, pool_out = {}, {}
+        ex._run_serial(list(cases), keys, serial_out, dict(kwargs), None)
+        ex._run_parallel(list(cases), keys, pool_out, dict(kwargs), None)
+        assert set(pool_out) == set(serial_out)
+        for name, outcome in serial_out.items():
+            assert pool_out[name].ok and outcome.ok
+            assert pool_out[name].record == outcome.record
+
 
 class TestStore:
     def test_cache_hit_on_identical_case(self, tmp_path):

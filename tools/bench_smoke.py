@@ -32,6 +32,10 @@ OUTPUT_DIR = os.path.join(BENCH_DIR, "output")
 EMIT_RE = re.compile(r'emit\(\s*f?"([\w.-]+)"')
 JSON_RE = re.compile(r'BENCH_PATH\s*=\s*os\.path\.join\(OUTPUT_DIR,\s*"([\w.-]+\.json)"')
 
+# Timing artifacts the suite must always declare — a rename or deleted
+# bench can't silently drop one from coverage.
+REQUIRED_JSON = {"BENCH_trace.json", "BENCH_campaign.json", "BENCH_solver.json"}
+
 
 def expected_artifacts() -> Dict[str, List[str]]:
     """bench file -> artifact filenames declared by literal emit calls."""
@@ -49,6 +53,13 @@ def expected_artifacts() -> Dict[str, List[str]]:
 
 def main() -> int:
     expected = expected_artifacts()
+    declared = {a for artifacts in expected.values() for a in artifacts}
+    missing_required = sorted(REQUIRED_JSON - declared)
+    if missing_required:
+        for name in missing_required:
+            print(f"bench-smoke: no bench declares required artifact {name}",
+                  file=sys.stderr)
+        return 1
     start = time.time()
     env = dict(os.environ, REPRO_BENCH_SMOKE="1")
     env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
