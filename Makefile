@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-solver docs-check ci all
+.PHONY: test bench bench-smoke bench-solver bench-dump docs-check ci all
 
 all: test docs-check
 
@@ -18,6 +18,12 @@ bench:
 # loops); asserts the >=3x steps/sec floor and writes BENCH_solver.json.
 bench-solver:
 	$(PYTHON) -m pytest benchmarks/bench_solver_hotpath.py -q -o python_files='bench_*.py'
+
+# Full-size run of the batched dump-pipeline bench (plan-cached size
+# mode, fused data mode, vectorized inspect vs the seed per-fab loops at
+# fig-11 scale); asserts the >=5x size-mode floor, writes BENCH_dump.json.
+bench-dump:
+	$(PYTHON) -m pytest benchmarks/bench_dump_pipeline.py -q -o python_files='bench_*.py'
 
 # Tiny-size run of every bench (REPRO_BENCH_SMOKE=1), asserting each
 # emits its artifact — bench-harness regressions without the bench cost.

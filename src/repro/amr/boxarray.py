@@ -38,6 +38,8 @@ class BoxArray:
         # reuse).  Two arrays with equal boxes still get distinct
         # tokens; equality of *content* is ``__eq__``.
         self._token: int = next(_token_counter)
+        self._corners: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._numpts: Optional[int] = None
 
     # ------------------------------------------------------------------
     # container protocol
@@ -83,11 +85,34 @@ class BoxArray:
     @property
     def numpts(self) -> int:
         """Total cell count across all boxes."""
-        return sum(b.numpts for b in self._boxes)
+        if self._numpts is None:
+            self._numpts = int(self.box_sizes().sum())
+        return self._numpts
+
+    def corners(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(los, his)``: cached ``(n, 2)`` int64 corner arrays.
+
+        Built once per instance (BoxArrays are immutable) — the
+        substrate for vectorized per-box accounting such as
+        :func:`repro.plotfile.fab.fab_nbytes_array`.  Callers must not
+        mutate the returned arrays.
+        """
+        if self._corners is None:
+            n = len(self._boxes)
+            los = np.empty((n, 2), dtype=np.int64)
+            his = np.empty((n, 2), dtype=np.int64)
+            for k, b in enumerate(self._boxes):
+                los[k] = b.lo
+                his[k] = b.hi
+            los.setflags(write=False)
+            his.setflags(write=False)
+            self._corners = (los, his)
+        return self._corners
 
     def box_sizes(self) -> np.ndarray:
         """Array of per-box cell counts (int64)."""
-        return np.array([b.numpts for b in self._boxes], dtype=np.int64)
+        los, his = self.corners()
+        return (his - los + 1).prod(axis=1)
 
     def minimal_box(self) -> Box:
         """Bounding box of the whole array."""

@@ -8,13 +8,23 @@ and :mod:`repro.macsio` target this small interface so that
   exact byte accounting and zero disk traffic (real disk I/O overhead
   would distort benchmarks — the reproduction-band note), and
 - :class:`RealFileSystem` writes actual files for the runnable examples.
+
+The virtual backend keeps a *directory index* alongside the flat
+``path -> size`` map: every directory knows its child directories and
+files, and carries incrementally-maintained subtree byte/file totals
+(every write adds its size delta to the ancestors' aggregates — the
+cache never goes stale, so there is nothing to re-scan).  That makes
+``total_size`` / ``file_count`` O(depth of the queried prefix) and
+``files`` / ``sizes`` / ``format_tree`` O(subtree), independent of how
+many files live elsewhere in the tree.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 __all__ = ["FileSystem", "VirtualFileSystem", "RealFileSystem", "format_tree"]
 
@@ -23,6 +33,16 @@ def _normalize(path: str) -> str:
     path = path.replace("\\", "/")
     parts = [p for p in path.split("/") if p not in ("", ".")]
     return "/".join(parts)
+
+
+def _parent(path: str) -> str:
+    return path.rsplit("/", 1)[0] if "/" in path else ""
+
+
+# Sentinel stored by ``write_size`` in content-keeping mode: the file has
+# a size but its bytes were never materialized (a fig-11-scale size-mode
+# file would otherwise allocate gigabytes of zeros).
+_SIZE_ONLY = object()
 
 
 class FileSystem:
@@ -79,6 +99,18 @@ class FileSystem:
     def sizes(self, prefix: str = "") -> Dict[str, int]:
         return {p: self.size(p) for p in self.files(prefix)}
 
+    def files_sizes(self, prefix: str = "") -> Tuple[List[str], np.ndarray]:
+        """Bulk ``(paths, sizes)`` of a subtree — one call, one array.
+
+        The reader-side consumers (:func:`repro.plotfile.reader.inspect_plotfile`)
+        use this instead of a ``size`` call per path.  Backends may
+        override with an implementation that avoids per-file stats.
+        """
+        paths = self.files(prefix)
+        return paths, np.fromiter(
+            (self.size(p) for p in paths), dtype=np.int64, count=len(paths)
+        )
+
 
 class VirtualFileSystem(FileSystem):
     """In-memory tree storing only path -> size (optionally content).
@@ -86,65 +118,132 @@ class VirtualFileSystem(FileSystem):
     ``keep_content=True`` retains the written bytes (used by tests and
     the plotfile reader); the default drops content and keeps sizes,
     which is all the I/O model needs and scales to billions of cells.
+    Size-only writes (``write_size`` / ``write_many``) never materialize
+    payload bytes even in content mode — they store a sentinel, and
+    reading one back raises.
     """
 
     def __init__(self, keep_content: bool = False) -> None:
         self._sizes: Dict[str, int] = {}
-        self._content: Optional[Dict[str, bytes]] = {} if keep_content else None
-        self._dirs: set = set()
+        self._content: Optional[Dict[str, object]] = {} if keep_content else None
+        self._dirs: Set[str] = set()
+        # Directory index: children plus incrementally-maintained
+        # subtree aggregates [bytes, file count] per directory.
+        self._subdirs: Dict[str, Set[str]] = {"": set()}
+        self._dirfiles: Dict[str, List[str]] = {"": []}
+        self._agg: Dict[str, List[int]] = {"": [0, 0]}
 
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def _register_dir(self, path: str) -> None:
+        """Ensure ``path`` and all ancestors exist in the index."""
+        while path and path not in self._agg:
+            self._agg[path] = [0, 0]
+            self._subdirs.setdefault(path, set())
+            self._dirfiles.setdefault(path, [])
+            self._dirs.add(path)
+            parent = _parent(path)
+            self._subdirs.setdefault(parent, set()).add(path)
+            path = parent
+
+    def _bump(self, directory: str, dbytes: int, dcount: int) -> None:
+        """Add a (bytes, count) delta to ``directory`` and all ancestors."""
+        d = directory
+        while True:
+            agg = self._agg[d]
+            agg[0] += dbytes
+            agg[1] += dcount
+            if not d:
+                break
+            d = _parent(d)
+
+    def _record(self, path: str, nbytes: int) -> None:
+        """Insert/overwrite ``path`` in the size map and the index."""
+        old = self._sizes.get(path)
+        parent = _parent(path)
+        if old is None:
+            self._register_dir(parent)
+            self._dirfiles[parent].append(path)
+            self._bump(parent, nbytes, 1)
+        elif old != nbytes:
+            self._bump(parent, nbytes - old, 0)
+        self._sizes[path] = nbytes
+
+    # ------------------------------------------------------------------
     def mkdirs(self, path: str) -> None:
-        path = _normalize(path)
-        parts = path.split("/") if path else []
-        for k in range(1, len(parts) + 1):
-            self._dirs.add("/".join(parts[:k]))
+        self._register_dir(_normalize(path))
 
     def write_bytes(self, path: str, data: bytes) -> int:
         path = _normalize(path)
-        self._ensure_parent(path)
-        self._sizes[path] = len(data)
+        n = len(data)
+        self._record(path, n)
         if self._content is not None:
             self._content[path] = bytes(data)
-        return len(data)
+        return n
 
     def write_size(self, path: str, nbytes: int) -> int:
+        nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError("file size cannot be negative")
         path = _normalize(path)
-        self._ensure_parent(path)
-        self._sizes[path] = int(nbytes)
+        self._record(path, nbytes)
         if self._content is not None:
-            self._content[path] = b"\0" * int(nbytes)
-        return int(nbytes)
+            self._content[path] = _SIZE_ONLY
+        return nbytes
 
     def write_many(self, paths: Sequence[str], sizes: Sequence[int]) -> int:
-        """Bulk ``write_size``: one dict update for a whole burst."""
+        """Bulk ``write_size``: one aggregate index update per directory.
+
+        An N-to-N burst lands every file in a handful of directories;
+        grouping by parent turns the per-file ancestor walk into one
+        (bytes, count) delta per directory per burst.
+        """
         if len(paths) != len(sizes):
             raise ValueError(
                 f"write_many got {len(paths)} paths but {len(sizes)} sizes"
             )
-        entries = {}
+        sizes_map = self._sizes
+        content = self._content
+        by_parent: Dict[str, List[Tuple[str, int]]] = {}
         total = 0
         for p, n in zip(paths, sizes):
             n = int(n)
             if n < 0:
                 raise ValueError("file size cannot be negative")
             p = _normalize(p)
-            self._ensure_parent(p)
-            entries[p] = n
+            by_parent.setdefault(_parent(p), []).append((p, n))
             total += n
-        self._sizes.update(entries)
-        if self._content is not None:
-            for p, n in entries.items():
-                self._content[p] = b"\0" * n
+        for parent, entries in by_parent.items():
+            self._register_dir(parent)
+            dirfiles = self._dirfiles[parent]
+            dbytes = dcount = 0
+            for p, n in entries:
+                old = sizes_map.get(p)
+                if old is None:
+                    dirfiles.append(p)
+                    dcount += 1
+                    dbytes += n
+                else:
+                    dbytes += n - old
+                sizes_map[p] = n
+                if content is not None:
+                    content[p] = _SIZE_ONLY
+            if dbytes or dcount:
+                self._bump(parent, dbytes, dcount)
         return total
 
     def append_bytes(self, path: str, data: bytes) -> int:
         path = _normalize(path)
-        self._ensure_parent(path)
-        self._sizes[path] = self._sizes.get(path, 0) + len(data)
+        self._record(path, self._sizes.get(path, 0) + len(data))
         if self._content is not None:
-            self._content[path] = self._content.get(path, b"") + bytes(data)
+            existing = self._content.get(path, b"")
+            if existing is _SIZE_ONLY:
+                # Appending to a size-only file keeps it size-only: its
+                # earlier bytes were never materialized.
+                pass
+            else:
+                self._content[path] = bytes(existing) + bytes(data)
         return len(data)
 
     def read_bytes(self, path: str) -> bytes:
@@ -152,9 +251,15 @@ class VirtualFileSystem(FileSystem):
             raise RuntimeError("VirtualFileSystem built with keep_content=False")
         path = _normalize(path)
         try:
-            return self._content[path]
+            content = self._content[path]
         except KeyError:
             raise FileNotFoundError(path) from None
+        if content is _SIZE_ONLY:
+            raise RuntimeError(
+                f"{path} was written size-only (write_size/write_many); "
+                "its content was never materialized"
+            )
+        return content  # type: ignore[return-value]
 
     def exists(self, path: str) -> bool:
         path = _normalize(path)
@@ -167,17 +272,49 @@ class VirtualFileSystem(FileSystem):
         except KeyError:
             raise FileNotFoundError(path) from None
 
+    # ------------------------------------------------------------------
+    # indexed subtree queries
+    # ------------------------------------------------------------------
+    def _walk_files(self, prefix: str) -> List[str]:
+        """All file paths under directory ``prefix`` (unsorted)."""
+        out: List[str] = []
+        stack = [prefix]
+        while stack:
+            d = stack.pop()
+            out.extend(self._dirfiles.get(d, ()))
+            stack.extend(self._subdirs.get(d, ()))
+        return out
+
     def files(self, prefix: str = "") -> List[str]:
         prefix = _normalize(prefix)
         if not prefix:
             return sorted(self._sizes)
-        pre = prefix + "/"
-        return sorted(p for p in self._sizes if p == prefix or p.startswith(pre))
+        if prefix in self._sizes:
+            return [prefix]
+        return sorted(self._walk_files(prefix))
 
-    def _ensure_parent(self, path: str) -> None:
-        parent = path.rsplit("/", 1)[0] if "/" in path else ""
-        if parent:
-            self.mkdirs(parent)
+    def files_sizes(self, prefix: str = "") -> Tuple[List[str], np.ndarray]:
+        paths = self.files(prefix)
+        sizes = self._sizes
+        return paths, np.fromiter(
+            (sizes[p] for p in paths), dtype=np.int64, count=len(paths)
+        )
+
+    def total_size(self, prefix: str = "") -> int:
+        prefix = _normalize(prefix)
+        if prefix in self._agg:
+            return self._agg[prefix][0]
+        return self._sizes.get(prefix, 0)
+
+    def file_count(self, prefix: str = "") -> int:
+        prefix = _normalize(prefix)
+        if prefix in self._agg:
+            return self._agg[prefix][1]
+        return 1 if prefix in self._sizes else 0
+
+    def sizes(self, prefix: str = "") -> Dict[str, int]:
+        sizes = self._sizes
+        return {p: sizes[p] for p in self.files(prefix)}
 
 
 class RealFileSystem(FileSystem):
@@ -202,11 +339,40 @@ class RealFileSystem(FileSystem):
 
     def write_size(self, path: str, nbytes: int) -> int:
         """Materialize as a sparse-ish zero file (truncate to size)."""
+        if nbytes < 0:
+            raise ValueError("file size cannot be negative")
         full = self._full(path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
         with open(full, "wb") as fh:
             fh.truncate(nbytes)
         return nbytes
+
+    def write_many(self, paths: Sequence[str], sizes: Sequence[int]) -> int:
+        """Bulk size-only writes sharing one ``makedirs`` cache.
+
+        An N-to-N burst lands many files in the same ``Level_i``
+        directory; stat-ing/creating it once per *directory* instead of
+        once per *file* is the bulk win on a real filesystem.
+        """
+        if len(paths) != len(sizes):
+            raise ValueError(
+                f"write_many got {len(paths)} paths but {len(sizes)} sizes"
+            )
+        made: Set[str] = set()
+        total = 0
+        for p, n in zip(paths, sizes):
+            n = int(n)
+            if n < 0:
+                raise ValueError("file size cannot be negative")
+            full = self._full(p)
+            d = os.path.dirname(full)
+            if d not in made:
+                os.makedirs(d, exist_ok=True)
+                made.add(d)
+            with open(full, "wb") as fh:
+                fh.truncate(n)
+            total += n
+        return total
 
     def append_bytes(self, path: str, data: bytes) -> int:
         full = self._full(path)
@@ -239,6 +405,15 @@ class RealFileSystem(FileSystem):
                 out.append(_normalize(rel))
         return sorted(out)
 
+    def files_sizes(self, prefix: str = "") -> Tuple[List[str], np.ndarray]:
+        """One-pass walk collecting paths and sizes together."""
+        paths = self.files(prefix)
+        return paths, np.fromiter(
+            (os.path.getsize(self._full(p)) for p in paths),
+            dtype=np.int64,
+            count=len(paths),
+        )
+
 
 def format_tree(fs: FileSystem, prefix: str = "", max_entries: int = 200) -> str:
     """ASCII rendering of the file tree with sizes (Figs. 2 & 3 style).
@@ -246,12 +421,14 @@ def format_tree(fs: FileSystem, prefix: str = "", max_entries: int = 200) -> str
     With a non-empty ``prefix`` the tree is rendered *relative to* the
     prefix — one root line for the prefix directory itself, entries
     indented from there — rather than replaying every ancestor
-    directory at its absolute depth.
+    directory at its absolute depth.  Sizes come from one bulk
+    :meth:`FileSystem.sizes` query, not a stat per file.
     """
     prefix = _normalize(prefix)
-    paths = fs.files(prefix)
+    size_of = fs.sizes(prefix)
+    paths = list(size_of)
     lines: List[str] = []
-    shown_dirs: set = set()
+    shown_dirs: Set[str] = set()
     if not paths:
         return ""
     strip = len(prefix.split("/")) if prefix else 0
@@ -267,7 +444,7 @@ def format_tree(fs: FileSystem, prefix: str = "", max_entries: int = 200) -> str
             if d not in shown_dirs:
                 shown_dirs.add(d)
                 lines.append("  " * (base + depth) + parts[depth] + "/")
-        lines.append("  " * (base + len(parts) - 1) + f"{parts[-1]}  [{fs.size(p)} B]")
+        lines.append("  " * (base + len(parts) - 1) + f"{parts[-1]}  [{size_of[p]} B]")
     if len(paths) > max_entries:
         lines.append(f"... ({len(paths) - max_entries} more files)")
     return "\n".join(lines)

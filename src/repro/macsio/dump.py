@@ -10,7 +10,7 @@ a :class:`~repro.iosim.storage.StorageModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -66,6 +66,23 @@ def _task_data_bytes(
     return int(round(payload)) + _FILE_STRUCTURE_OVERHEAD[params.interface]
 
 
+def _task_data_bytes_all(
+    params: MacsioParams, part: MeshPart, nparts: np.ndarray, growth_scale: float
+) -> np.ndarray:
+    """Vectorized :func:`_task_data_bytes` over every rank at once.
+
+    Element-for-element identical to the scalar form: the float product
+    runs in the same left-to-right order and ``np.rint`` rounds half to
+    even exactly like Python's ``round``.
+    """
+    nparts = np.asarray(nparts, dtype=np.int64)
+    if params.interface == "miftmpl":
+        return nparts * part_json_bytes(part, growth_scale)
+    factor = _BINARY_OVERHEAD[params.interface]
+    payload = part.nominal_bytes * nparts * growth_scale * factor
+    return np.rint(payload).astype(np.int64) + _FILE_STRUCTURE_OVERHEAD[params.interface]
+
+
 def run_macsio(
     params: MacsioParams,
     nprocs: int,
@@ -104,38 +121,37 @@ def run_macsio(
     run = MacsioRun(params, nprocs, trace, schedule=schedule)
     files_per_dump = params.files_per_dump(nprocs)
 
+    all_ranks = np.arange(nprocs, dtype=np.int64)
+    # MIF baton groups depend only on the job shape: rank r writes into
+    # file r*files_per_dump//nprocs.  group_of is non-decreasing, so the
+    # per-file byte accumulation is a sorted-segment reduction.
+    group_of = (all_ranks * files_per_dump) // nprocs
+    groups, group_first = np.unique(group_of, return_index=True)
+    rank_to_group_pos = np.searchsorted(groups, group_of)
+
     for dump in range(params.num_dumps):
         growth_scale = params.dataset_growth**dump
-        per_rank = np.zeros(nprocs, dtype=np.int64)
+        per_rank = _task_data_bytes_all(params, part, nparts, growth_scale)
         if params.parallel_file_mode == "SIF":
-            for r in range(nprocs):
-                per_rank[r] = _task_data_bytes(params, part, nparts[r], growth_scale)
             path = f"data/{data_filename(0, dump)}"
             fs.write_size(path, int(per_rank.sum()))
-            trace.record_batch(dump, 0, np.arange(nprocs), per_rank, path, kind="data")
+            trace.record_batch(dump, 0, all_ranks, per_rank, path, kind="data")
         else:
             # MIF: tasks grouped over `files_per_dump` files (baton
             # passing); file_count == nprocs is the paper's N-to-N.
-            group_of = [r * files_per_dump // nprocs for r in range(nprocs)]
-            group_bytes: Dict[int, int] = {}
-            for r in range(nprocs):
-                nb = _task_data_bytes(params, part, nparts[r], growth_scale)
-                per_rank[r] = nb
-                group_bytes[group_of[r]] = group_bytes.get(group_of[r], 0) + nb
-            groups = sorted(group_bytes)
+            # One segment-sum replaces the per-rank accumulate loop.
+            group_bytes = np.add.reduceat(per_rank, group_first)
+            group_paths = [f"data/{data_filename(int(g), dump)}" for g in groups]
             if materialize and params.interface == "miftmpl" and files_per_dump == nprocs:
-                for g in groups:
-                    text = render_part_json(part, g, dump)
-                    fs.write_text(f"data/{data_filename(g, dump)}", text)
+                for g, path in zip(groups, group_paths):
+                    text = render_part_json(part, int(g), dump)
+                    fs.write_text(path, text)
             else:
                 # One batched call for the dump's whole MIF/N-to-N burst.
-                fs.write_many(
-                    [f"data/{data_filename(g, dump)}" for g in groups],
-                    [group_bytes[g] for g in groups],
-                )
+                fs.write_many(group_paths, group_bytes)
             trace.record_batch(
-                dump, 0, np.arange(nprocs), per_rank,
-                [f"data/{data_filename(group_of[r], dump)}" for r in range(nprocs)],
+                dump, 0, all_ranks, per_rank,
+                [group_paths[i] for i in rank_to_group_pos.tolist()],
                 kind="data",
             )
         # Root metadata file (rank 0 writes it).

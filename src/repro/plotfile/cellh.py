@@ -3,16 +3,24 @@
 ``Cell_H`` describes the FABs of one level: the box list, which
 ``Cell_D_xxxxx`` file holds each FAB and at what byte offset, and the
 per-FAB component min/max tables AMReX appends.
+
+Two builders render byte-identical text: :func:`build_cellh_text` takes
+the seed-style per-box :class:`FabLocation` objects, and
+:func:`build_cellh_arrays` consumes the arrays the batched writer
+produces (per-box filenames, an offset vector, optional ``(nfab, ncomp)``
+min/max matrices) without materializing per-box location objects.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..amr.box import Box
 from ..amr.boxarray import BoxArray
 
-__all__ = ["build_cellh_text", "FabLocation"]
+__all__ = ["build_cellh_text", "build_cellh_arrays", "FabLocation"]
 
 
 class FabLocation:
@@ -69,4 +77,53 @@ def build_cellh_text(
         lines.append(f"{len(ba)},{ncomp}")
         for _mins, maxs in minmax:
             lines.append(",".join(repr(float(v)) for v in maxs) + ",")
+    return "\n".join(lines) + "\n"
+
+
+def build_cellh_arrays(
+    ba: BoxArray,
+    ncomp: int,
+    filenames: Sequence[str],
+    offsets: np.ndarray,
+    mins: Optional[np.ndarray] = None,
+    maxs: Optional[np.ndarray] = None,
+) -> str:
+    """Render a level's ``Cell_H`` from the batched writer's arrays.
+
+    ``filenames[k]`` / ``offsets[k]`` place box ``k``; ``mins``/``maxs``
+    are optional ``(nfab, ncomp)`` float matrices.  Output is
+    byte-identical to :func:`build_cellh_text` fed the equivalent
+    :class:`FabLocation` / tuple-table inputs.
+    """
+    n = len(ba)
+    if len(filenames) != n or len(offsets) != n:
+        raise ValueError("need one filename and offset per box")
+    los, his = ba.corners()
+    lo_l, hi_l = los.tolist(), his.tolist()
+    off_l = np.asarray(offsets).tolist()
+    lines: List[str] = ["1", "1", str(ncomp), "0", f"({n} 0"]
+    lines.extend(
+        f"(({lo[0]},{lo[1]}) ({hi[0]},{hi[1]}) (0,0))"
+        for lo, hi in zip(lo_l, hi_l)
+    )
+    lines.append(")")
+    lines.append(str(n))
+    lines.extend(
+        f"FabOnDisk: {fn} {off}" for fn, off in zip(filenames, off_l)
+    )
+    # Like build_cellh_text's `if minmax:` guard, an empty level emits no
+    # min/max section even in data mode.
+    if n and (mins is not None or maxs is not None):
+        if mins is None or maxs is None or len(mins) != n or len(maxs) != n:
+            raise ValueError("minmax table length must match box count")
+        lines.append("")
+        lines.append(f"{n},{ncomp}")
+        lines.extend(
+            ",".join(map(repr, row)) + "," for row in mins.tolist()
+        )
+        lines.append("")
+        lines.append(f"{n},{ncomp}")
+        lines.extend(
+            ",".join(map(repr, row)) + "," for row in maxs.tolist()
+        )
     return "\n".join(lines) + "\n"

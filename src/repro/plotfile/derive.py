@@ -5,11 +5,17 @@ real-filesystem writer can emit genuine data.  Quantities Castro derives
 from microphysics we don't carry (Temp, species, enuc) are computed from
 ideal-gas relations with unit constants — their *sizes* (what the paper
 measures) are identical either way.
+
+Two entry points produce bit-identical values: :func:`derive_fields`
+(one conserved patch, the seed form) and :func:`derive_fields_flat`
+(a whole level's patches concatenated cell-flat — one ``cons_to_prim``
+and one pass per field for the entire batch; only the stencil field
+``divu`` is evaluated per patch, on reshaped views of the flat arrays).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -17,7 +23,7 @@ from ..hydro.eos import GammaLawEOS
 from ..hydro.state import QP, QRHO, QU, QV, UEDEN, UMX, UMY, URHO, cons_to_prim
 from .varlist import plot_variables
 
-__all__ = ["derive_fields"]
+__all__ = ["derive_fields", "derive_fields_flat"]
 
 
 def derive_fields(
@@ -72,5 +78,84 @@ def derive_fields(
         out[k] = values[name]
     # Replace infinities (t_sound_t_enuc) with a large sentinel as Castro
     # caps them for plotting.
+    np.nan_to_num(out, copy=False, posinf=1e200, neginf=-1e200)
+    return out
+
+
+def derive_fields_flat(
+    U: np.ndarray,
+    shapes: Sequence[Tuple[int, int]],
+    eos: GammaLawEOS,
+    derive_all: bool = True,
+    dx: float = 1.0,
+    dy: float = 1.0,
+) -> np.ndarray:
+    """All plot fields for a level batch of conserved patches.
+
+    Parameters
+    ----------
+    U:
+        ``(4, total_cells)`` — every patch's interior C-order raveled and
+        concatenated in box order.
+    shapes:
+        Per-patch ``(nx, ny)``; ``sum(nx*ny)`` must equal ``total_cells``.
+
+    Returns ``(nvars, total_cells)`` float64; column-for-column identical
+    to calling :func:`derive_fields` on each patch separately (all fields
+    are elementwise except ``divu``, which is computed per patch on views
+    into the flat arrays).
+    """
+    W = cons_to_prim(U, eos)
+    rho, u, v, p = W[QRHO], W[QU], W[QV], W[QP]
+    e_int = eos.internal_energy(rho, p)
+    c = eos.sound_speed(rho, p)
+    vel2 = u * u + v * v
+    safe_rho = np.maximum(rho, eos.small_density)
+
+    def _divu() -> np.ndarray:
+        out = np.zeros_like(rho)
+        s = 0
+        for nx, ny in shapes:
+            e = s + nx * ny
+            u2, v2 = u[s:e].reshape(nx, ny), v[s:e].reshape(nx, ny)
+            d2 = out[s:e].reshape(nx, ny)
+            d2[1:-1, :] += (u2[2:, :] - u2[:-2, :]) / (2 * dx)
+            d2[:, 1:-1] += (v2[:, 2:] - v2[:, :-2]) / (2 * dy)
+            s = e
+        return out
+
+    # Lazy per-field thunks: only the requested variables are computed.
+    values: Dict[str, Callable[[], np.ndarray]] = {
+        "density": lambda: rho,
+        "xmom": lambda: U[UMX],
+        "ymom": lambda: U[UMY],
+        "rho_E": lambda: U[UEDEN],
+        "rho_e": lambda: rho * e_int,
+        "Temp": lambda: p / safe_rho,  # ideal gas with unit gas constant
+        "rho_X(A)": lambda: rho,  # single species: X == 1
+        "pressure": lambda: p,
+        "kineng": lambda: 0.5 * rho * vel2,
+        "soundspeed": lambda: c,
+        "MachNumber": lambda: np.sqrt(vel2) / c,
+        "entropy": lambda: np.log(
+            np.maximum(p, eos.small_pressure) / safe_rho**eos.gamma
+        ),
+        "divu": _divu,
+        "eint_E": lambda: U[UEDEN] / safe_rho - 0.5 * vel2,
+        "eint_e": lambda: e_int,
+        "logden": lambda: np.log10(safe_rho),
+        "magmom": lambda: np.sqrt(U[UMX] ** 2 + U[UMY] ** 2),
+        "magvel": lambda: np.sqrt(vel2),
+        "radvel": lambda: np.zeros_like(rho),
+        "x_velocity": lambda: u,
+        "y_velocity": lambda: v,
+        "t_sound_t_enuc": lambda: np.full_like(rho, np.inf),  # no reactions
+        "X(A)": lambda: np.ones_like(rho),
+        "maggrav": lambda: np.zeros_like(rho),  # self-gravity off for Sedov
+    }
+    names = plot_variables(derive_all)
+    out = np.empty((len(names),) + U.shape[1:], dtype=np.float64)
+    for k, name in enumerate(names):
+        out[k] = values[name]()
     np.nan_to_num(out, copy=False, posinf=1e200, neginf=-1e200)
     return out

@@ -4,22 +4,43 @@ Each grid's data is stored in a ``Cell_D_xxxxx`` file as an ASCII FAB
 header line followed by raw doubles.  We reproduce the real format so
 that the byte accounting (and the real-filesystem writer) matches what
 Castro produces on Summit.
+
+Size accounting is *closed form*: :func:`fab_nbytes` computes the header
+length arithmetically (digit counts of the box corners and component
+count) instead of rendering and encoding the header text, and
+:func:`fab_nbytes_array` does the same for a whole level of boxes in one
+vectorized pass.  ``fab_header`` remains the authoritative encoder; the
+equivalence suite pins the arithmetic byte-exact against it.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from ..amr.box import Box
 
-__all__ = ["fab_header", "fab_nbytes", "encode_fab", "decode_fab_header"]
+__all__ = [
+    "fab_header",
+    "fab_nbytes",
+    "fab_nbytes_array",
+    "encode_fab",
+    "decode_fab_header",
+]
 
 # The native-double descriptor AMReX writes on little-endian machines.
 _REAL_DESCRIPTOR = (
     "FAB ((8, (64 11 52 0 1 12 0 1023)),(8, (8 7 6 5 4 3 2 1)))"
 )
+_DESC_LEN = len(_REAL_DESCRIPTOR)
+
+# Fixed characters of the box spec ``(({a},{b}) ({c},{d}) (0,0))``
+# besides the four corner numbers: "((" + "," + ") (" + "," + ") (0,0))".
+_BOXSTR_FIXED = 2 + 1 + 3 + 1 + 8
+
+# Powers of ten for vectorized decimal digit counting (int64 range).
+_POW10 = 10 ** np.arange(1, 19, dtype=np.int64)
 
 
 def fab_header(box: Box, ncomp: int) -> str:
@@ -32,25 +53,82 @@ def fab_header(box: Box, ncomp: int) -> str:
 
 
 def fab_nbytes(box: Box, ncomp: int) -> int:
-    """Total on-disk bytes of one FAB: header + ncomp*numpts doubles."""
-    return len(fab_header(box, ncomp).encode("ascii")) + box.numpts * ncomp * 8
+    """Total on-disk bytes of one FAB: header + ncomp*numpts doubles.
+
+    Computed arithmetically — no header text is rendered.  ``len(str(n))``
+    counts decimal digits (including a ``-`` sign for negative corners).
+    """
+    header_len = (
+        _DESC_LEN
+        + _BOXSTR_FIXED
+        + len(str(box.lo[0]))
+        + len(str(box.lo[1]))
+        + len(str(box.hi[0]))
+        + len(str(box.hi[1]))
+        + 1  # space before ncomp
+        + len(str(int(ncomp)))
+        + 1  # trailing newline
+    )
+    return header_len + box.numpts * ncomp * 8
+
+
+def _ndigits(a: np.ndarray) -> np.ndarray:
+    """Decimal character count of each int (``-`` sign included)."""
+    a = np.asarray(a, dtype=np.int64)
+    return 1 + np.searchsorted(_POW10, np.abs(a), side="right") + (a < 0)
+
+
+def fab_nbytes_array(
+    los: np.ndarray, his: np.ndarray, numpts: np.ndarray, ncomp: int
+) -> np.ndarray:
+    """On-disk bytes of a whole level's FABs in one vectorized pass.
+
+    Parameters
+    ----------
+    los / his:
+        ``(n, 2)`` int arrays of box corners (``BoxArray.corners()``).
+    numpts:
+        ``(n,)`` per-box cell counts (``BoxArray.box_sizes()``).
+    ncomp:
+        Components per FAB.
+
+    Returns ``(n,)`` int64; entry ``k`` equals ``fab_nbytes(ba[k], ncomp)``.
+    """
+    los = np.asarray(los, dtype=np.int64).reshape(-1, 2)
+    his = np.asarray(his, dtype=np.int64).reshape(-1, 2)
+    header_len = (
+        _DESC_LEN
+        + _BOXSTR_FIXED
+        + 2  # space before ncomp + trailing newline
+        + len(str(int(ncomp)))
+        + _ndigits(los[:, 0])
+        + _ndigits(los[:, 1])
+        + _ndigits(his[:, 0])
+        + _ndigits(his[:, 1])
+    )
+    return header_len + np.asarray(numpts, dtype=np.int64) * (int(ncomp) * 8)
 
 
 def encode_fab(box: Box, data: np.ndarray) -> bytes:
     """Serialize data of shape (ncomp, nx, ny) to the on-disk FAB bytes.
 
     Component-major, Fortran order within each component, matching
-    AMReX's column-major storage.
+    AMReX's column-major storage.  The payload is written straight into
+    one preallocated buffer — one strided copy per component, no
+    ``stack``/``asfortranarray``/``astype`` intermediate chain.
     """
     ncomp = data.shape[0]
     nx, ny = box.shape
     if data.shape != (ncomp, nx, ny):
         raise ValueError(f"data shape {data.shape} does not match box {box} / ncomp {ncomp}")
     header = fab_header(box, ncomp).encode("ascii")
-    payload = np.ascontiguousarray(
-        np.stack([np.asfortranarray(data[c]).ravel(order="F") for c in range(ncomp)])
-    ).astype("<f8").tobytes()
-    return header + payload
+    out = bytearray(len(header) + ncomp * nx * ny * 8)
+    out[: len(header)] = header
+    payload = np.frombuffer(
+        memoryview(out), dtype="<f8", count=ncomp * nx * ny, offset=len(header)
+    ).reshape(ncomp, ny, nx)
+    payload[...] = np.swapaxes(data, 1, 2)
+    return bytes(out)
 
 
 def decode_fab_header(line: str) -> Tuple[Box, int]:

@@ -5,12 +5,17 @@ variable names, problem geometry, per-level domains and grid boxes, and
 the relative path of each level's ``Cell`` dataset.  ``job_info`` is the
 free-form provenance block Castro adds at the plotfile root (visible in
 Fig. 2).
+
+The per-box physical-bounds block — two lines per grid, the bulk of the
+``Header`` at paper scale — depends only on ``(geometry, boxarray)``:
+it is rendered once from vectorized corner arrays and cached per layout,
+so repeat dumps of an unchanged hierarchy reuse the rendered text.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..amr.boxarray import BoxArray
 from ..amr.geometry import Geometry
@@ -18,6 +23,34 @@ from ..amr.geometry import Geometry
 __all__ = ["build_header_text", "build_job_info_text", "PLOTFILE_VERSION"]
 
 PLOTFILE_VERSION = "HyperCLaw-V1.1"
+
+# (BoxArray.token, Geometry) -> rendered per-box physical-bounds block.
+_GRID_BLOCK_CACHE: Dict[Tuple[int, Geometry], str] = {}
+_GRID_BLOCK_CACHE_MAX = 256
+
+
+def _grid_block(geom: Geometry, ba: BoxArray) -> str:
+    """The two ``xlo xhi`` / ``ylo yhi`` lines per box of one level.
+
+    Vectorized over the cached corner arrays; bit-identical to calling
+    ``geom.physical_box`` per box (same float expressions, elementwise).
+    """
+    key = (ba.token, geom)
+    block = _GRID_BLOCK_CACHE.get(key)
+    if block is None:
+        dx, dy = geom.cell_size
+        los, his = ba.corners()
+        xlo = (geom.prob_lo[0] + los[:, 0] * dx).tolist()
+        ylo = (geom.prob_lo[1] + los[:, 1] * dy).tolist()
+        xhi = (geom.prob_lo[0] + (his[:, 0] + 1) * dx).tolist()
+        yhi = (geom.prob_lo[1] + (his[:, 1] + 1) * dy).tolist()
+        block = "\n".join(
+            f"{a} {b}\n{c} {d}" for a, b, c, d in zip(xlo, xhi, ylo, yhi)
+        )
+        if len(_GRID_BLOCK_CACHE) >= _GRID_BLOCK_CACHE_MAX:
+            _GRID_BLOCK_CACHE.clear()
+        _GRID_BLOCK_CACHE[key] = block
+    return block
 
 
 def build_header_text(
@@ -72,10 +105,8 @@ def build_header_text(
     for lev, (g, ba) in enumerate(zip(geoms, boxarrays)):
         lines.append(f"{lev} {len(ba)} {float(time)!r}")
         lines.append(str(step))
-        for b in ba:
-            (xlo, ylo), (xhi, yhi) = g.physical_box(b)
-            lines.append(f"{xlo} {xhi}")
-            lines.append(f"{ylo} {yhi}")
+        if len(ba):
+            lines.append(_grid_block(g, ba))
         lines.append(f"Level_{lev}/Cell")
     return "\n".join(lines) + "\n"
 

@@ -6,13 +6,22 @@ root and, per level, ``Level_i/Cell_H`` plus one ``Cell_D_xxxxx`` per
 MPI task *that owns data at that level* (the paper notes a file is only
 produced when a task has data at that level).
 
-Two modes share one code path:
+Two modes share one batched code path:
 
 - **size mode** (default, any scale): FAB payloads are accounted, not
   materialized — works on a :class:`~repro.iosim.filesystem.VirtualFileSystem`
-  at billions of cells.
+  at billions of cells.  All per-level accounting (file sizes, FAB
+  offsets, the rendered ``Cell_H``) is produced as a vectorized
+  *level plan* — closed-form :func:`~repro.plotfile.fab.fab_nbytes_array`
+  byte counts, owner grouping and prefix sums as single array ops — and
+  cached per ``(BoxArray identity, distribution, nvars)``, so repeat
+  dumps of an unchanged layout replay the plan instead of re-deriving it.
 - **data mode**: pass per-level ``MultiFab`` state and real bytes are
-  encoded, enabling the read-back tests and disk examples.
+  encoded, enabling the read-back tests and disk examples.  The derive
+  and encode stages are fused: one ``cons_to_prim``/derive pass over the
+  whole level batch (:func:`~repro.plotfile.derive.derive_fields_flat`),
+  per-FAB min/max as one ``reduceat`` per extreme, and each rank's blob
+  written component-major straight into one preallocated buffer.
 """
 
 from __future__ import annotations
@@ -29,13 +38,18 @@ from ..amr.multifab import MultiFab
 from ..hydro.eos import GammaLawEOS
 from ..iosim.darshan import IOTrace
 from ..iosim.filesystem import FileSystem
-from .cellh import FabLocation, build_cellh_text
-from .derive import derive_fields
-from .fab import encode_fab, fab_nbytes
+from .cellh import build_cellh_arrays
+from .derive import derive_fields_flat
+from .fab import fab_header, fab_nbytes_array
 from .header import build_header_text, build_job_info_text
 from .varlist import plot_variables
 
-__all__ = ["PlotfileSpec", "write_plotfile", "plotfile_name"]
+__all__ = [
+    "PlotfileSpec",
+    "write_plotfile",
+    "plotfile_name",
+    "clear_plan_cache",
+]
 
 
 def plotfile_name(prefix: str, step: int) -> str:
@@ -56,6 +70,165 @@ class PlotfileSpec:
     @property
     def var_names(self) -> List[str]:
         return plot_variables(self.derive_all)
+
+
+# ----------------------------------------------------------------------
+# Per-level dump plan: everything about one (layout, distribution, nvars)
+# combination that does not depend on the dump's step/time.
+# ----------------------------------------------------------------------
+class _LevelPlan:
+    """Vectorized size accounting for one level's N-to-N burst.
+
+    Derived once per ``(BoxArray.token, distribution ranks, nvars)`` and
+    cached: per-FAB on-disk byte counts, owner grouping (which ranks own
+    data, which boxes land in which ``Cell_D`` file at which offset),
+    per-file sizes, and the rendered size-mode ``Cell_H`` text.
+    """
+
+    __slots__ = (
+        "ranks",
+        "fnames",
+        "sizes",
+        "nbytes",
+        "offsets",
+        "order",
+        "bounds",
+        "fname_of_box",
+        "cellh",
+        "_data_aux",
+    )
+
+    def __init__(self, ba: BoxArray, dm: DistributionMapping, nvars: int) -> None:
+        n = len(ba)
+        ranks_arr = np.fromiter(dm.ranks, dtype=np.int64, count=n)
+        los, his = ba.corners()
+        self.nbytes = fab_nbytes_array(los, his, ba.box_sizes(), nvars)
+        if n == 0:
+            self.ranks = np.empty(0, dtype=np.int64)
+            self.fnames: List[str] = []
+            self.sizes = np.empty(0, dtype=np.int64)
+            self.offsets = np.empty(0, dtype=np.int64)
+            self.order = np.empty(0, dtype=np.int64)
+            self.bounds = np.zeros(1, dtype=np.int64)
+            self.fname_of_box: List[str] = []
+        else:
+            # Stable sort by owner: boxes stay in index order within each
+            # rank's file — the same order the per-fab loop produced.
+            order = np.argsort(ranks_arr, kind="stable")
+            bsort = self.nbytes[order]
+            starts = np.cumsum(bsort) - bsort
+            uniq, first = np.unique(ranks_arr[order], return_index=True)
+            self.ranks = uniq
+            self.sizes = np.add.reduceat(bsort, first)
+            self.order = order
+            self.bounds = np.append(first, n).astype(np.int64)
+            counts = np.diff(self.bounds)
+            rel = starts - np.repeat(starts[first], counts)
+            offsets = np.empty(n, dtype=np.int64)
+            offsets[order] = rel
+            self.offsets = offsets
+            self.fnames = [f"Cell_D_{int(r):05d}" for r in uniq]
+            which = np.searchsorted(uniq, ranks_arr)
+            self.fname_of_box = [self.fnames[i] for i in which.tolist()]
+        self.cellh = build_cellh_arrays(ba, nvars, self.fname_of_box, self.offsets)
+        self._data_aux: Optional[Tuple[list, np.ndarray, list]] = None
+
+    def data_aux(self, ba: BoxArray, nvars: int):
+        """Layout-invariant data-mode precomputation, built on first use:
+        per-box ``(nx, ny)`` shapes, cell-offset prefix sums, and the
+        encoded ASCII FAB headers."""
+        if self._data_aux is None:
+            cells = ba.box_sizes()
+            cell_start = np.cumsum(cells) - cells
+            los, his = ba.corners()
+            shapes = [
+                (int(h0 - l0 + 1), int(h1 - l1 + 1))
+                for (l0, l1), (h0, h1) in zip(los.tolist(), his.tolist())
+            ]
+            headers = [fab_header(b, nvars).encode("ascii") for b in ba]
+            self._data_aux = (shapes, cell_start, headers)
+        return self._data_aux
+
+
+_PLAN_CACHE: Dict[Tuple[int, Tuple[int, ...], int], _LevelPlan] = {}
+_PLAN_CACHE_MAX = 256
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached level plans (tests / memory pressure)."""
+    _PLAN_CACHE.clear()
+
+
+def _level_plan(ba: BoxArray, dm: DistributionMapping, nvars: int) -> _LevelPlan:
+    key = (ba.token, dm.ranks, nvars)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.clear()
+        plan = _PLAN_CACHE[key] = _LevelPlan(ba, dm, nvars)
+    return plan
+
+
+# ----------------------------------------------------------------------
+def _encode_level(
+    plan: _LevelPlan,
+    ba: BoxArray,
+    mf: MultiFab,
+    geom: Geometry,
+    eos: GammaLawEOS,
+    derive_all: bool,
+    nvars: int,
+) -> Tuple[List[bytearray], np.ndarray, np.ndarray]:
+    """Fused derive+encode of one level: per-rank blobs plus min/max.
+
+    Returns ``(buffers, mins, maxs)`` where ``buffers[i]`` is the ready
+    ``Cell_D`` content for ``plan.ranks[i]`` and ``mins``/``maxs`` are
+    ``(nfab, nvars)`` per-FAB component extrema.
+    """
+    n = len(ba)
+    if n == 0:
+        empty = np.empty((0, nvars), dtype=np.float64)
+        return [], empty, empty
+    shapes, cell_start, headers = plan.data_aux(ba, nvars)
+    total = int(cell_start[-1]) + shapes[-1][0] * shapes[-1][1]
+
+    # One gather of every interior into the flat level batch, then one
+    # derive pass for all boxes at once.
+    U = np.empty((mf.ncomp, total), dtype=np.float64)
+    for k in range(n):
+        s = int(cell_start[k])
+        nx, ny = shapes[k]
+        U[:, s : s + nx * ny] = mf[k].interior().reshape(mf.ncomp, -1)
+    fields = derive_fields_flat(U, shapes, eos, derive_all, geom.dx, geom.dy)
+
+    # Per-FAB component extrema: one reduceat per extreme over the whole
+    # (nvars, total) batch instead of 2*nvars Python floats per box.
+    seg_starts = cell_start.astype(np.intp)
+    mins = np.minimum.reduceat(fields, seg_starts, axis=1).T
+    maxs = np.maximum.reduceat(fields, seg_starts, axis=1).T
+
+    buffers: List[bytearray] = []
+    order = plan.order.tolist()
+    for ri in range(len(plan.ranks)):
+        buf = bytearray(int(plan.sizes[ri]))
+        for k in order[plan.bounds[ri] : plan.bounds[ri + 1]]:
+            nx, ny = shapes[k]
+            hdr = headers[k]
+            off = int(plan.offsets[k])
+            buf[off : off + len(hdr)] = hdr
+            s = int(cell_start[k])
+            seg = fields[:, s : s + nx * ny].reshape(nvars, nx, ny)
+            payload = np.frombuffer(
+                memoryview(buf),
+                dtype="<f8",
+                count=nvars * nx * ny,
+                offset=off + len(hdr),
+            ).reshape(nvars, ny, nx)
+            # Component-major, Fortran order within each component —
+            # one strided copy straight into the output buffer.
+            payload[...] = np.swapaxes(seg, 1, 2)
+        buffers.append(buf)
+    return buffers, mins, maxs
 
 
 def write_plotfile(
@@ -113,63 +286,30 @@ def write_plotfile(
     # ------------------------------------------------------------------
     # per-level data
     # ------------------------------------------------------------------
+    the_eos = eos or GammaLawEOS()
     for lev in range(nlev):
         ba = boxarrays[lev]
         dm = distributions[lev]
         ldir = f"{pdir}/Level_{lev}"
         fs.mkdirs(ldir)
-        # Group boxes by owner rank: one Cell_D file per owning task.
-        rank_boxes: Dict[int, List[int]] = {}
-        for k in range(len(ba)):
-            rank_boxes.setdefault(dm[k], []).append(k)
-        locations: List[Optional[FabLocation]] = [None] * len(ba)
-        minmax: List[Tuple[List[float], List[float]]] = [
-            ([0.0] * nvars, [0.0] * nvars) for _ in range(len(ba))
-        ]
-        ranks = sorted(rank_boxes)
-        paths = [f"{ldir}/Cell_D_{rank:05d}" for rank in ranks]
-        sizes: List[int] = []
-        for rank, path in zip(ranks, paths):
-            fname = path.rsplit("/", 1)[-1]
-            offset = 0
-            chunks: List[bytes] = []
-            for k in rank_boxes[rank]:
-                box = ba[k]
-                locations[k] = FabLocation(fname, offset)
-                if state is not None:
-                    mf = state[lev]
-                    fields = derive_fields(
-                        mf[k].interior(),
-                        eos or GammaLawEOS(),
-                        spec.derive_all,
-                        geoms[lev].dx,
-                        geoms[lev].dy,
-                    )
-                    blob = encode_fab(box, fields)
-                    chunks.append(blob)
-                    offset += len(blob)
-                    minmax[k] = (
-                        [float(fields[c].min()) for c in range(nvars)],
-                        [float(fields[c].max()) for c in range(nvars)],
-                    )
-                else:
-                    offset += fab_nbytes(box, nvars)
-            if state is not None:
-                sizes.append(fs.write_bytes(path, b"".join(chunks)))
-            else:
-                sizes.append(offset)
-        if state is None:
+        plan = _level_plan(ba, dm, nvars)
+        paths = [f"{ldir}/{fn}" for fn in plan.fnames]
+        if state is not None:
+            buffers, mins, maxs = _encode_level(
+                plan, ba, state[lev], geoms[lev], the_eos, spec.derive_all, nvars
+            )
+            sizes = [fs.write_bytes(p, buf) for p, buf in zip(paths, buffers)]
+            cellh = build_cellh_arrays(
+                ba, nvars, plan.fname_of_box, plan.offsets, mins, maxs
+            )
+        else:
             # Size mode: the whole level's N-to-N burst is one batched
-            # filesystem call instead of a write per task.
-            fs.write_many(paths, sizes)
-        if trace is not None and ranks:
-            trace.record_batch(step, lev, ranks, sizes, paths, kind="data")
-        cellh = build_cellh_text(
-            ba,
-            nvars,
-            [loc for loc in locations if loc is not None],
-            minmax if state is not None else (),
-        )
+            # filesystem call replaying the cached plan.
+            fs.write_many(paths, plan.sizes)
+            sizes = plan.sizes
+            cellh = plan.cellh
+        if trace is not None and len(plan.ranks):
+            trace.record_batch(step, lev, plan.ranks, sizes, paths, kind="data")
         n = fs.write_text(f"{ldir}/Cell_H", cellh)
         if trace is not None:
             trace.record(step, lev, 0, n, f"{ldir}/Cell_H", kind="metadata")

@@ -120,6 +120,15 @@ class CastroSim:
         self._tc = TimestepController(
             cfl=inp.cfl, init_shrink=inp.init_shrink, change_max=inp.change_max
         )
+        # Dump configuration is immutable for the run's lifetime: build
+        # the spec once so every write_plot replays it (and, with it,
+        # the writer's cached per-level size plans between regrids).
+        self._plot_spec = PlotfileSpec(
+            prefix=inp.plot_file,
+            derive_all=inp.derive_plot_vars.upper() == "ALL",
+            nprocs=self.nprocs,
+            nnodes=self.nnodes,
+        )
         self.time = 0.0
         self.step = 0
 
@@ -214,15 +223,9 @@ class CastroSim:
     # ------------------------------------------------------------------
     def write_plot(self) -> OutputEvent:
         levels = self.hierarchy.levels
-        spec = PlotfileSpec(
-            prefix=self.inputs.plot_file,
-            derive_all=self.inputs.derive_plot_vars.upper() == "ALL",
-            nprocs=self.nprocs,
-            nnodes=self.nnodes,
-        )
         write_plotfile(
             self.fs,
-            spec,
+            self._plot_spec,
             self.step,
             self.time,
             [lv.geom for lv in levels],

@@ -128,16 +128,22 @@ class SedovWorkloadGenerator:
         return out
 
     # ------------------------------------------------------------------
-    def _distribution_for(self, lev: int, ba: BoxArray):
-        """Mapping for a level's layout, reusing the previous dump's when
-        the layout is unchanged (``make_distribution`` is deterministic,
-        so replay is bit-identical to recomputation)."""
+    def _layout_for(self, lev: int, ba: BoxArray):
+        """Canonical ``(BoxArray, DistributionMapping)`` for a level.
+
+        When the layout is unchanged from the previous dump the memoized
+        *pair* is returned — the mapping (``make_distribution`` is
+        deterministic, so replay is bit-identical to recomputation) and
+        the previous BoxArray object itself, whose stable identity token
+        lets the plotfile writer's per-level plan and header caches hit
+        across dumps instead of re-deriving identical accounting."""
         memo = self._dm_memo.get(lev)
         if memo is not None and memo[0].same_boxes(ba):
-            return memo[1]
+            return memo
         dm = make_distribution(ba, self.nprocs, self.distribution_strategy)
-        self._dm_memo[lev] = (ba, dm)
-        return dm
+        memo = (ba, dm)
+        self._dm_memo[lev] = memo
+        return memo
 
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -153,9 +159,13 @@ class SedovWorkloadGenerator:
         events = self.timebase.output_times(inp.max_step, inp.plot_int, inp.stop_time)
         final_t = 0.0
         for step, t in events:
-            bas = self.level_layout(t)
+            pairs = [
+                self._layout_for(lev, ba)
+                for lev, ba in enumerate(self.level_layout(t))
+            ]
+            bas = [ba for ba, _ in pairs]
             geoms = self._geoms[: len(bas)]
-            dms = [self._distribution_for(lev, ba) for lev, ba in enumerate(bas)]
+            dms = [dm for _, dm in pairs]
             write_plotfile(
                 self.fs, spec, step, t, geoms, bas, dms,
                 ref_ratio=inp.ref_ratio, trace=self.trace,

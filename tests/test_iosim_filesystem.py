@@ -75,6 +75,26 @@ class TestVirtualSpecific:
         with pytest.raises(RuntimeError):
             fs.read_bytes("f")
 
+    def test_size_only_write_never_materializes_content(self):
+        # A fig-11-scale write_size would allocate GBs as b"\0"*n; the
+        # content store keeps a sentinel instead and read-back raises.
+        fs = VirtualFileSystem(keep_content=True)
+        fs.write_size("huge.dat", 50_000_000_000)
+        assert fs.size("huge.dat") == 50_000_000_000
+        with pytest.raises(RuntimeError, match="size-only"):
+            fs.read_bytes("huge.dat")
+        # overwriting with real bytes makes it readable again
+        fs.write_bytes("huge.dat", b"now real")
+        assert fs.read_bytes("huge.dat") == b"now real"
+
+    def test_append_to_size_only_file_keeps_sentinel(self):
+        fs = VirtualFileSystem(keep_content=True)
+        fs.write_size("f", 10)
+        fs.append_bytes("f", b"xyz")
+        assert fs.size("f") == 13
+        with pytest.raises(RuntimeError, match="size-only"):
+            fs.read_bytes("f")
+
     def test_negative_size_rejected(self):
         with pytest.raises(ValueError):
             VirtualFileSystem().write_size("f", -1)
@@ -97,6 +117,60 @@ class TestRealSpecific:
         fs = RealFileSystem(str(tmp_path))
         fs.write_size("sparse.bin", 4096)
         assert os.path.getsize(tmp_path / "sparse.bin") == 4096
+
+
+class TestDirectoryIndex:
+    """The virtual backend's subtree aggregates: maintained incrementally
+    on every write, exact under overwrites and appends."""
+
+    def test_subtree_totals_track_overwrites(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("a/b/x", b"12345")
+        fs.write_bytes("a/b/y", b"12")
+        fs.write_bytes("a/c/z", b"1")
+        fs.write_bytes("other/w", b"1234")
+        assert fs.total_size("a") == 8
+        assert fs.total_size("a/b") == 7
+        assert fs.file_count("a") == 3
+        fs.write_bytes("a/b/x", b"1")  # shrink 5 -> 1
+        assert fs.total_size("a/b") == 3
+        assert fs.total_size("a") == 4
+        assert fs.total_size() == 8
+        fs.append_bytes("a/c/z", b"22")
+        assert fs.total_size("a/c") == 3
+        assert fs.file_count() == 4
+
+    def test_write_many_aggregates_match_loop(self):
+        fs1, fs2 = VirtualFileSystem(), VirtualFileSystem()
+        paths = [f"d/L{i % 3}/f{i:03d}" for i in range(30)]
+        sizes = [7 * i for i in range(30)]
+        fs1.write_many(paths, sizes)
+        for p, n in zip(paths, sizes):
+            fs2.write_size(p, n)
+        for prefix in ("", "d", "d/L0", "d/L1", "d/L2"):
+            assert fs1.total_size(prefix) == fs2.total_size(prefix)
+            assert fs1.file_count(prefix) == fs2.file_count(prefix)
+            assert fs1.files(prefix) == fs2.files(prefix)
+        # overwrite through write_many: deltas, not double counts
+        fs1.write_many(paths[:10], [1] * 10)
+        assert fs1.total_size("d") == sum([1] * 10 + sizes[10:])
+
+    def test_files_sizes_bulk(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("t/a", b"12")
+        fs.write_bytes("t/b/c", b"345")
+        paths, sizes = fs.files_sizes("t")
+        assert paths == ["t/a", "t/b/c"]
+        assert sizes.tolist() == [2, 3]
+
+    def test_queries_on_file_and_missing_prefix(self):
+        fs = VirtualFileSystem()
+        fs.write_bytes("dir/file", b"1234")
+        assert fs.total_size("dir/file") == 4
+        assert fs.file_count("dir/file") == 1
+        assert fs.total_size("nope") == 0
+        assert fs.file_count("nope") == 0
+        assert fs.files("nope") == []
 
 
 class TestFormatTree:

@@ -218,6 +218,23 @@ class TestRunMacsio:
         with pytest.raises(ValueError):
             run_macsio(MacsioParams(), nprocs=0)
 
+    @pytest.mark.parametrize("interface", ["miftmpl", "hdf5", "silo"])
+    def test_vectorized_task_bytes_match_scalar(self, interface):
+        """The batched per-rank byte model must stay element-for-element
+        identical to the scalar formula it replaced in the dump loop."""
+        from repro.macsio.dump import _task_data_bytes, _task_data_bytes_all
+
+        part = build_part(48_000, 5)
+        nparts = np.array(parts_per_rank(2.5, 16), dtype=np.int64)
+        for growth_scale in (1.0, 1.01**7, 0.3333333333333333):
+            params = MacsioParams(interface=interface)
+            vec = _task_data_bytes_all(params, part, nparts, growth_scale)
+            scalar = [
+                _task_data_bytes(params, part, int(npr), growth_scale)
+                for npr in nparts
+            ]
+            assert vec.tolist() == scalar
+
 
 @settings(max_examples=25, deadline=None)
 @given(

@@ -89,6 +89,31 @@ class TestDataModeOnDisk:
         assert len(payload) == 24 * 256 * 8
 
 
+class TestRealWriteMany:
+    def test_write_many_matches_write_size_loop(self, tmp_path):
+        fs1 = RealFileSystem(str(tmp_path / "bulk"))
+        fs2 = RealFileSystem(str(tmp_path / "loop"))
+        paths = [f"plt00000/Level_{l}/Cell_D_{r:05d}"
+                 for l in range(3) for r in range(8)]
+        sizes = [128 * (i + 1) for i in range(len(paths))]
+        total = fs1.write_many(paths, sizes)
+        assert total == sum(sizes)
+        for p, n in zip(paths, sizes):
+            fs2.write_size(p, n)
+        assert fs1.files() == fs2.files()
+        for p in paths:
+            assert fs1.size(p) == fs2.size(p)
+
+    def test_write_many_validates(self, tmp_path):
+        fs = RealFileSystem(str(tmp_path))
+        with pytest.raises(ValueError):
+            fs.write_many(["a", "b"], [1])
+        with pytest.raises(ValueError):
+            fs.write_many(["a"], [-1])
+        with pytest.raises(ValueError):
+            fs.write_size("a", -1)
+
+
 class TestMacsioRealFS:
     def test_materialized_run_on_disk(self, tmp_path):
         fs = RealFileSystem(str(tmp_path))

@@ -289,10 +289,15 @@ class TestWriteMany:
             VirtualFileSystem().write_many(["a", "b"], [1, -1])
 
     def test_keep_content_mode(self):
+        # Size-only writes never materialize payload bytes (a fig-11
+        # scale file would allocate GBs of zeros); reading one back in
+        # content mode raises a clear error instead.
         fs = VirtualFileSystem(keep_content=True)
         fs.write_many(["x/a", "x/b"], [3, 0])
-        assert fs.read_bytes("x/a") == b"\0\0\0"
-        assert fs.read_bytes("x/b") == b""
+        assert fs.size("x/a") == 3
+        assert fs.size("x/b") == 0
+        with pytest.raises(RuntimeError, match="size-only"):
+            fs.read_bytes("x/a")
 
 
 class TestBurstNoiseStability:

@@ -34,7 +34,12 @@ JSON_RE = re.compile(r'BENCH_PATH\s*=\s*os\.path\.join\(OUTPUT_DIR,\s*"([\w.-]+\
 
 # Timing artifacts the suite must always declare — a rename or deleted
 # bench can't silently drop one from coverage.
-REQUIRED_JSON = {"BENCH_trace.json", "BENCH_campaign.json", "BENCH_solver.json"}
+REQUIRED_JSON = {
+    "BENCH_trace.json",
+    "BENCH_campaign.json",
+    "BENCH_solver.json",
+    "BENCH_dump.json",
+}
 
 
 def expected_artifacts() -> Dict[str, List[str]]:
