@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-solver bench-dump docs-check ci all
+.PHONY: test bench bench-smoke bench-solver bench-dump bench-platforms docs-check ci all
 
 all: test docs-check
 
@@ -25,13 +25,20 @@ bench-solver:
 bench-dump:
 	$(PYTHON) -m pytest benchmarks/bench_dump_pipeline.py -q -o python_files='bench_*.py'
 
+# Full-size run of the cross-machine burst-throughput bench (batched
+# burst_time vs the per-file loop on every registered platform at the
+# Table-III max job shape); asserts the >=5x floor and writes
+# BENCH_platforms.json.
+bench-platforms:
+	$(PYTHON) -m pytest benchmarks/bench_platforms.py -q -o python_files='bench_*.py'
+
 # Tiny-size run of every bench (REPRO_BENCH_SMOKE=1), asserting each
 # emits its artifact — bench-harness regressions without the bench cost.
 bench-smoke:
 	$(PYTHON) tools/bench_smoke.py
 
 docs-check:
-	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md
+	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md docs/PLATFORMS.md
 
 # The one-stop regression gate: tests + docs + bench harness.
 ci: test docs-check bench-smoke

@@ -1,0 +1,124 @@
+"""Cross-machine burst-time throughput at paper scale.
+
+Times every registered platform's storage model pushing Fig.-11-sized
+byte loads (~40 MB/rank dumps) at the Table-III maximum job shape (1024
+ranks over the machine's default packing — the shape where the per-file
+loop's O(nprocs) Python cost is fully exposed) through two paths:
+
+1. **batched** — the vectorized :meth:`StorageModel.burst_time` batch
+   API (one call per dump), the path every timing consumer uses;
+2. **loop** — the seed-style per-file Python loop (one
+   :meth:`StorageModel.write_time` per rank, max over ranks).
+
+Emits ``benchmarks/output/BENCH_platforms.json`` and asserts the batched
+path stays >= 5x over the loop on every machine, plus cross-machine
+sanity (the one-node workstation must be slower than Summit for the
+same bytes).  The loop and batched paths are asserted *equal* on the
+GPFS flavor (same law; the loop is only an approximation for the
+striped/tiered flavors).
+"""
+
+import json
+import os
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro.platform import available_platforms, get_platform
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+BENCH_PATH = os.path.join(OUTPUT_DIR, "BENCH_platforms.json")
+
+SPEEDUP_FLOOR = 5.0
+
+
+def _loop_burst(model, bytes_per_rank, node_of_rank):
+    """Seed-style per-file accounting: one write_time call per rank."""
+    active_per_node = Counter(
+        node for nb, node in zip(bytes_per_rank, node_of_rank) if nb > 0
+    )
+    t = 0.0
+    for nb, node in zip(bytes_per_rank, node_of_rank):
+        if nb <= 0:
+            continue
+        cost = model.write_time(int(nb), concurrent_on_node=active_per_node[node])
+        t = max(t, cost.seconds)
+    return t
+
+
+def _dump_series(nprocs, n_dumps, rng):
+    """Per-dump per-rank byte loads around the Fig.-11 ~40 MB/rank point."""
+    base = rng.integers(30_000_000, 50_000_000, size=(n_dumps, nprocs))
+    base[:, :: max(1, nprocs // 8)] = 0  # some idle ranks, like real levels
+    return base
+
+
+def test_platform_burst_throughput(once, emit, smoke):
+    nprocs = 16 if smoke else 1024
+    n_dumps = 5 if smoke else 100
+    dumps = _dump_series(nprocs, n_dumps, np.random.default_rng(2022))
+
+    per_machine = {}
+    for name in available_platforms():
+        p = get_platform(name)
+        topo = p.default_topology(nprocs)
+        nodes = topo.node_map()
+        node_list = nodes.tolist()
+
+        # deterministic models: timing compares the accounting, not the
+        # noise draw (and keeps loop vs batched comparable on GPFS)
+        batched_model = p.storage_model(variability=0.0)
+        t0 = time.perf_counter()
+        batched_times = [batched_model.burst_time(dumps[k], nodes) for k in range(n_dumps)]
+        batched_s = time.perf_counter() - t0
+
+        loop_model = p.storage_model(variability=0.0)
+        t0 = time.perf_counter()
+        loop_times = [
+            _loop_burst(loop_model, dumps[k].tolist(), node_list)
+            for k in range(n_dumps)
+        ]
+        loop_s = time.perf_counter() - t0
+
+        if p.filesystem.flavor in ("gpfs", "nvme"):
+            assert np.allclose(batched_times, loop_times, rtol=1e-12), name
+        per_machine[name] = {
+            "flavor": p.filesystem.flavor,
+            "nnodes": topo.nnodes,
+            "batched_s": round(batched_s, 4),
+            "loop_s": round(loop_s, 4),
+            "speedup": round(loop_s / batched_s, 2) if batched_s > 0 else 0.0,
+            "bursts_per_s": round(n_dumps / batched_s, 1) if batched_s > 0 else 0.0,
+            "sample_burst_s": round(float(batched_times[-1]), 4),
+        }
+
+    # one benchmark-registered timing for pytest-benchmark's table
+    summit_model = get_platform("summit").storage_model(variability=0.0)
+    summit_nodes = get_platform("summit").default_topology(nprocs).node_map()
+    once(lambda: [summit_model.burst_time(d, summit_nodes) for d in dumps])
+
+    min_speedup = min(m["speedup"] for m in per_machine.values())
+    payload = {
+        "nprocs": nprocs,
+        "n_dumps": n_dumps,
+        "machines": per_machine,
+        "min_speedup": min_speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+    emit("BENCH_platforms", json.dumps(payload, indent=1))
+
+    # cross-machine sanity: one shared NVMe device must lose to 64
+    # Summit nodes' worth of injection bandwidth on the same bytes
+    assert (
+        per_machine["workstation"]["sample_burst_s"]
+        > per_machine["summit"]["sample_burst_s"]
+    )
+    if not smoke:
+        assert min_speedup >= SPEEDUP_FLOOR, (
+            f"batched burst_time must stay >= {SPEEDUP_FLOOR}x over the "
+            f"per-file loop on every machine, got {min_speedup}x"
+        )

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""One campaign, every machine: the platform registry as a sweep axis.
+
+The paper calibrates its proxy on Summit; the closing pitch is that the
+calibrated model becomes "a powerful predictive tool for autotuning".
+This example takes that across machines: a small case list is swept over
+*every* registered platform (Summit's GPFS, Frontier's striped Lustre, a
+generic burst-buffer machine, a single-node NVMe workstation), and the
+per-machine burst totals are compared — the question a practitioner
+actually asks before picking an allocation.
+
+Run:  python examples/cross_machine_campaign.py
+"""
+
+from repro.analysis.compare import compare_machines, format_machine_comparison
+from repro.analysis.report import format_table, human_bytes
+from repro.campaign.cases import cases_on_machines
+from repro.campaign.runner import run_campaign
+from repro.campaign.sweep import sweep_cases
+from repro.platform import available_platforms, get_platform
+
+
+def main() -> None:
+    machines = available_platforms()
+    specs = [
+        (
+            p.name,
+            p.total_nodes,
+            p.filesystem.flavor,
+            f"{human_bytes(p.filesystem.node_bandwidth)}/s",
+            p.description,
+        )
+        for p in (get_platform(m) for m in machines)
+    ]
+    print(format_table(
+        ["machine", "nodes", "filesystem", "node bw", "description"],
+        specs,
+        title="registered platforms",
+    ))
+    print()
+
+    # Two paper-band meshes, both level counts — small enough to run in
+    # seconds per machine, big enough that the filesystems separate.
+    base = sweep_cases(
+        mesh_ladder=[(256, 8, 1), (512, 32, 2)],
+        cfls=(0.5,),
+        max_levels=(1, 3),
+        plot_int=10,
+        max_step=40,
+    )
+    cases = cases_on_machines(base, machines)
+    print(f"running {len(base)} cases x {len(machines)} machines ...")
+    campaign = run_campaign(cases)
+    assert not campaign.failures, campaign.failures
+    print()
+    print(format_machine_comparison(compare_machines(campaign.records)))
+    print(
+        "\nreading the table: the byte series is machine-independent (the\n"
+        "workload is the same physics), so the burst totals isolate the\n"
+        "filesystem models — Frontier's striped OSTs beat Summit's shared\n"
+        "injection, the burst buffer absorbs at SSD speed, and the\n"
+        "workstation funnels every rank through one NVMe device."
+    )
+
+
+if __name__ == "__main__":
+    main()

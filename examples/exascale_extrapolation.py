@@ -17,10 +17,10 @@ import time
 from repro.analysis.report import format_table, human_bytes
 from repro.campaign.cases import Case
 from repro.campaign.runner import run_case
-from repro.iosim.storage import StorageModel
-from repro.iosim.summit import SUMMIT
-from repro.parallel.topology import JobTopology
+from repro.platform import get_platform
 from repro.sim.inputs import CastroInputs
+
+SUMMIT = get_platform("summit")
 
 
 def run_scale(n: int, nprocs: int, nnodes: int, dumps: int = 3):
@@ -33,8 +33,8 @@ def run_scale(n: int, nprocs: int, nnodes: int, dumps: int = 3):
     t0 = time.perf_counter()
     result = run_case(case)
     gen_seconds = time.perf_counter() - t0
-    storage = StorageModel.summit_alpine(variability=0.0)
-    topo = JobTopology(nprocs, nnodes)
+    storage = SUMMIT.storage_model(variability=0.0)
+    topo = SUMMIT.topology(nprocs, nnodes)
     # burst time of the largest dump
     last = max(ev.step for ev in result.outputs)
     per_rank = result.trace.bytes_per_rank(step=last, nprocs=nprocs)
@@ -47,7 +47,7 @@ def run_scale(n: int, nprocs: int, nnodes: int, dumps: int = 3):
 
 def main() -> None:
     print(f"Summit envelope: {SUMMIT.total_nodes} nodes, "
-          f"{human_bytes(SUMMIT.alpine_aggregate_bw)}/s aggregate to Alpine\n")
+          f"{human_bytes(SUMMIT.filesystem.aggregate_bandwidth)}/s aggregate to Alpine\n")
     ladder = [
         (1024, 64, 4),
         (4096, 256, 16),

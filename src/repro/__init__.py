@@ -15,14 +15,31 @@ Subpackages
     The two I/O producers: Castro plotfiles (Fig. 2 layout) and the
     MACSio proxy (Fig. 3 layout).
 ``repro.parallel`` / ``repro.iosim``
-    Simulated MPI and the storage/trace substrate (Summit-like model).
+    Simulated MPI and the storage/trace substrate (GPFS, Lustre, and
+    burst-buffer timing models).
+``repro.platform``
+    The machine registry: Platform specs (summit, frontier,
+    burst-buffer, workstation) dispatching the storage-model hierarchy.
 ``repro.campaign`` / ``repro.analysis``
     The 47-run study machinery and the figure/table analysis layer.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import amr, analysis, campaign, core, hydro, iosim, macsio, parallel, plotfile, sim, workload
+from . import (
+    amr,
+    analysis,
+    campaign,
+    core,
+    hydro,
+    iosim,
+    macsio,
+    parallel,
+    platform,
+    plotfile,
+    sim,
+    workload,
+)
 
 __all__ = [
     "amr",
@@ -33,6 +50,7 @@ __all__ = [
     "iosim",
     "macsio",
     "parallel",
+    "platform",
     "plotfile",
     "sim",
     "workload",

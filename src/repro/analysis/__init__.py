@@ -1,7 +1,15 @@
 """Analysis layer: load balance, comparisons, report formatting."""
 
 from .burstiness import BurstinessStats, analyze_schedule, duty_cycle, interarrival_cv
-from .compare import ComparisonRow, classify_linearity, compare_record_to_macsio
+from .compare import (
+    ComparisonRow,
+    MachineBurstRow,
+    classify_linearity,
+    compare_machines,
+    compare_record_to_macsio,
+    format_machine_comparison,
+    record_burst_seconds,
+)
 from .loadbalance import (
     active_fraction,
     gini_coefficient,
@@ -17,8 +25,12 @@ __all__ = [
     "duty_cycle",
     "interarrival_cv",
     "ComparisonRow",
+    "MachineBurstRow",
     "classify_linearity",
+    "compare_machines",
     "compare_record_to_macsio",
+    "format_machine_comparison",
+    "record_burst_seconds",
     "active_fraction",
     "gini_coefficient",
     "imbalance_factor",

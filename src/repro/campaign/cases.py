@@ -10,28 +10,34 @@ Fig. 11).  Variants of case4 over cfl x max_level drive Figs. 6 and 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..platform import get_platform
 from ..sim.inputs import CastroInputs
 
-__all__ = ["Case", "CASE_REGISTRY", "case4", "case27", "large_case", "case4_variants"]
+__all__ = ["Case", "CASE_REGISTRY", "case4", "case27", "large_case",
+           "case4_variants", "cases_on_machines"]
 
 
 @dataclass(frozen=True)
 class Case:
-    """One campaign configuration: inputs + job shape + engine choice."""
+    """One campaign configuration: inputs + job shape + engine + machine."""
 
     name: str
     inputs: CastroInputs
     nprocs: int
     nnodes: int
     engine: str = "workload"  # "solver" (PDE) or "workload" (analytic)
+    machine: str = "summit"  # a repro.platform registry name
 
     def __post_init__(self) -> None:
         if self.engine not in ("solver", "workload"):
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.nprocs < 1 or self.nnodes < 1:
             raise ValueError("nprocs/nnodes must be >= 1")
+        # unknown machines fail at construction (UnknownMachineError is
+        # a ValueError, matching the sibling validations above)
+        get_platform(self.machine)
 
     def with_cfl(self, cfl: float) -> "Case":
         return replace(
@@ -45,6 +51,26 @@ class Case:
             self,
             name=f"{self.name}_maxl{max_level + 1}",
             inputs=replace(self.inputs, max_level=max_level),
+        )
+
+    def on_machine(self, machine) -> "Case":
+        """This case re-hosted on another registered platform.
+
+        The node count is clamped to the target machine's size (a
+        workstation runs every rank on its one node) and the name gets
+        an ``@machine`` suffix so a multi-machine sweep stays unique.
+        Re-hosting on the case's own machine returns ``self`` unchanged
+        — summit cases keep their historical names (and their cached
+        results) inside a multi-machine sweep.
+        """
+        p = get_platform(machine)
+        if p.name == self.machine:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}@{p.name}",
+            machine=p.name,
+            nnodes=min(self.nnodes, p.total_nodes),
         )
 
 
@@ -142,6 +168,20 @@ def case4_variants() -> List[Case]:
                 replace(base, name=f"case4_cfl{int(cfl * 10)}_maxl{max_level + 1}")
             )
     return out
+
+
+def cases_on_machines(cases: List[Case], machines: Iterable) -> List[Case]:
+    """Replicate a case list across machines — the cross-machine sweep axis.
+
+    Returns one block per machine, each case re-hosted via
+    :meth:`Case.on_machine` (so the default-machine block keeps the
+    original names).  The machine is part of the result-store key, so a
+    warm summit store never answers for the other machines.
+    """
+    machines = list(machines)
+    if not machines:
+        raise ValueError("machines cannot be empty")
+    return [case.on_machine(m) for m in machines for case in cases]
 
 
 CASE_REGISTRY: Dict[str, Case] = {

@@ -41,6 +41,9 @@ class RunRecord:
     task_bytes_last: List[int]  # per-task bytes of the final dump
     cells_per_level_last: List[int]
     final_time: float
+    # repro.platform registry name; defaulted so records persisted
+    # before the machine axis existed load as the summit runs they were
+    machine: str = "summit"
 
     @property
     def ncells_l0(self) -> int:
@@ -54,8 +57,18 @@ class RunRecord:
         return np.cumsum(np.asarray(self.step_bytes, dtype=np.float64))
 
 
-def record_from_result(name: str, result: SimResult, nnodes: int, engine: str) -> RunRecord:
-    """Distill a SimResult into a RunRecord."""
+def record_from_result(
+    name: str,
+    result: SimResult,
+    nnodes: int,
+    engine: str,
+    machine: Optional[str] = None,
+) -> RunRecord:
+    """Distill a SimResult into a RunRecord.
+
+    ``machine`` defaults to the one the engine ran against
+    (``result.machine``).
+    """
     inp = result.inputs
     series = build_series(result.trace, inp.ncells_l0)
     steps = [int(s) for s in series.steps]
@@ -89,6 +102,7 @@ def record_from_result(name: str, result: SimResult, nnodes: int, engine: str) -
         task_bytes_last=[int(v) for v in task_vec],
         cells_per_level_last=list(result.outputs[-1].cells_per_level),
         final_time=float(result.final_time),
+        machine=machine if machine is not None else result.machine,
     )
 
 

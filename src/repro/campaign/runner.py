@@ -41,6 +41,7 @@ def run_case(
             fs=fs,
             distribution_strategy=distribution_strategy,
             nnodes=case.nnodes,
+            machine=case.machine,
         )
         return sim.run()
     gen = SedovWorkloadGenerator(
@@ -51,6 +52,7 @@ def run_case(
         coefficients=coefficients,
         distribution_strategy=distribution_strategy,
         nnodes=case.nnodes,
+        machine=case.machine,
     )
     return gen.run()
 

@@ -74,7 +74,8 @@ def case_key(case: Case, code_version: Optional[str] = None,
 
     The case *name* is excluded — the key addresses what is computed,
     not what it is called.  Any change to the inputs (mesh, cfl,
-    plot_int, ...), the task/node counts, the engine, the execution
+    plot_int, ...), the task/node counts, the engine, the machine (a
+    cached summit run must never answer for frontier), the execution
     options (``extra``: the ``run_case`` kwargs, e.g. a different
     distribution strategy), or the package version yields a different
     key.
@@ -85,6 +86,7 @@ def case_key(case: Case, code_version: Optional[str] = None,
         "nprocs": case.nprocs,
         "nnodes": case.nnodes,
         "engine": case.engine,
+        "machine": case.machine,
         "extra": _canonical(extra or {}),
         "code_version": code_version or _code_version(),
     }

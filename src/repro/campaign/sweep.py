@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 from ..sim.inputs import CastroInputs
-from .cases import Case
+from .cases import Case, cases_on_machines
 
 __all__ = ["TABLE_III_RANGES", "paper_sweep", "sweep_cases", "estimated_cost", "order_by_cost"]
 
@@ -57,8 +57,15 @@ def sweep_cases(
     max_levels: Tuple[int, ...] = (1, 3),
     plot_int: int = 10,
     max_step: int = 100,
+    machines: Tuple[str, ...] = ("summit",),
 ) -> List[Case]:
-    """Cartesian sweep over the ladder x cfl x levels."""
+    """Cartesian sweep over the ladder x cfl x levels (x machines).
+
+    ``machines`` is the platform axis: the base sweep is replicated per
+    registered machine via :func:`~repro.campaign.cases.cases_on_machines`
+    (the default single-machine summit sweep keeps the historical case
+    names exactly).
+    """
     cases: List[Case] = []
     for n, nprocs, nnodes in mesh_ladder:
         for cfl in cfls:
@@ -82,7 +89,7 @@ def sweep_cases(
                         engine="workload",
                     )
                 )
-    return cases
+    return cases_on_machines(cases, machines)
 
 
 def paper_sweep() -> List[Case]:

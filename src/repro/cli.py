@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from .analysis.report import format_series, format_table, human_bytes
-from .campaign.cases import CASE_REGISTRY, Case
+from .campaign.cases import CASE_REGISTRY, Case, cases_on_machines
 from .campaign.records import record_from_result, save_records
 from .campaign.runner import run_campaign, run_case
 from .campaign.store import ResultStore
@@ -21,6 +22,7 @@ from .campaign.sweep import paper_sweep
 from .core.calibration import calibrate_from_result, verify_proxy
 from .iosim.filesystem import RealFileSystem, VirtualFileSystem
 from .macsio.main import main as _macsio_main
+from .platform import available_platforms, get_platform
 from .sim.inputs import CastroInputs, parse_inputs
 
 __all__ = ["sedov_main", "macsio_main", "model_main", "campaign_main"]
@@ -34,6 +36,24 @@ def _resolve_case(name: str) -> Case:
         raise SystemExit(f"unknown case {name!r}; choose from: {valid}")
 
 
+def _resolve_machines(spec: str, single: bool = False) -> List[str]:
+    """Parse a ``--machine`` value (one name, or a comma-separated list)."""
+    names = [m.strip() for m in spec.split(",") if m.strip()]
+    if not names:
+        raise SystemExit("--machine requires at least one platform name")
+    if single and len(names) > 1:
+        raise SystemExit("--machine takes a single platform name here")
+    if len(set(names)) != len(names):
+        raise SystemExit(f"--machine names must be unique, got {spec!r}")
+    for name in names:
+        try:
+            get_platform(name)
+        except KeyError:
+            valid = ", ".join(available_platforms())
+            raise SystemExit(f"unknown machine {name!r}; choose from: {valid}")
+    return names
+
+
 def sedov_main(argv: Optional[Sequence[str]] = None) -> int:
     """Run one Sedov case and print its output-size series."""
     ap = argparse.ArgumentParser(prog="repro-sedov", description=sedov_main.__doc__)
@@ -41,19 +61,25 @@ def sedov_main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--inputs", help="AMReX inputs file (overrides --case inputs)")
     ap.add_argument("--nprocs", type=int, help="override task count")
     ap.add_argument("--outdir", help="write real files under this directory")
+    ap.add_argument("--machine", help="registered platform to host the run "
+                                      "(default: the case's machine, summit)")
     args = ap.parse_args(argv)
     case = _resolve_case(args.case)
     if args.inputs:
         with open(args.inputs, "r", encoding="utf-8") as fh:
             case_inputs = CastroInputs.from_inputs(parse_inputs(fh.read()))
-        case = Case(case.name, case_inputs, case.nprocs, case.nnodes, case.engine)
+        case = replace(case, inputs=case_inputs)
     if args.nprocs:
-        case = Case(case.name, case.inputs, args.nprocs, case.nnodes, case.engine)
+        case = replace(case, nprocs=args.nprocs)
+    if args.machine:
+        case = case.on_machine(_resolve_machines(args.machine, single=True)[0])
     fs = RealFileSystem(args.outdir) if args.outdir else VirtualFileSystem()
     result = run_case(case, fs=fs)
     rec = record_from_result(case.name, result, case.nnodes, case.engine)
+    machine = f", machine={rec.machine}" if rec.machine != "summit" else ""
     print(f"# {case.name}: {rec.n_cell[0]}x{rec.n_cell[1]} L0, "
-          f"maxlev={rec.max_level}, cfl={rec.cfl}, np={rec.nprocs} ({rec.engine})")
+          f"maxlev={rec.max_level}, cfl={rec.cfl}, np={rec.nprocs}"
+          f"{machine} ({rec.engine})")
     print(format_series(
         rec.x_series(),
         {"step_bytes": rec.step_bytes, "cumulative": rec.cumulative_bytes()},
@@ -72,8 +98,12 @@ def model_main(argv: Optional[Sequence[str]] = None) -> int:
     """Calibrate the proxy model for a case and verify it (Fig. 10)."""
     ap = argparse.ArgumentParser(prog="repro-model", description=model_main.__doc__)
     ap.add_argument("--case", default="case4")
+    ap.add_argument("--machine", help="registered platform to host the run "
+                                      "(default: the case's machine, summit)")
     args = ap.parse_args(argv)
     case = _resolve_case(args.case)
+    if args.machine:
+        case = case.on_machine(_resolve_machines(args.machine, single=True)[0])
     result = run_case(case)
     report = calibrate_from_result(result)
     print(report.summary())
@@ -105,6 +135,12 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
                     help="reuse results already in --store instead of starting fresh")
     ap.add_argument("--timeout", type=float,
                     help="per-case timeout in seconds (failed cases are reported, not fatal)")
+    ap.add_argument("--machine", metavar="LIST",
+                    help="comma-separated registered platforms to sweep "
+                         "(e.g. summit,frontier,workstation; default: summit only). "
+                         "Each machine's block reruns the case list; results are "
+                         "stored under machine-specific keys and a per-machine "
+                         "burst-total comparison is printed")
     args = ap.parse_args(argv)
     if args.resume and not args.store:
         ap.error("--resume requires --store")
@@ -120,9 +156,13 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"discarding {len(store)} stored result(s) in {args.store} "
                   f"(pass --resume to reuse them)", file=sys.stderr)
             store.clear()
+    machines = _resolve_machines(args.machine) if args.machine else None
     cases = paper_sweep()
     if args.limit:
         cases = cases[: args.limit]
+    if machines:
+        # the machine axis multiplies the (possibly limited) case list
+        cases = cases_on_machines(cases, machines)
     def progress(name: str, dt: float) -> None:
         print(f"  {name}: {dt:.2f}s", file=sys.stderr)
     jobs = args.jobs if args.jobs != 0 else None
@@ -137,6 +177,11 @@ def campaign_main(argv: Optional[Sequence[str]] = None) -> int:
     if campaign.cached:
         title += f" ({len(campaign.cached)} cached)"
     print(format_table(["case", "mesh", "np", "dumps", "total output"], rows, title=title))
+    if machines and campaign.records:
+        from .analysis.compare import compare_machines, format_machine_comparison
+
+        print()
+        print(format_machine_comparison(compare_machines(campaign.records)))
     for name, err in campaign.failures.items():
         print(f"FAILED {name}: {err.splitlines()[-1]}", file=sys.stderr)
     return 1 if campaign.failures else 0

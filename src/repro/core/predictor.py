@@ -24,6 +24,7 @@ import numpy as np
 from ..iosim.storage import StorageModel
 from ..macsio.miftmpl import json_inflation
 from ..parallel.topology import JobTopology
+from ..platform import get_platform
 from ..sim.inputs import CastroInputs
 from .growth import growth_series
 from .interpolation import GrowthTable, interpolate_growth, paper_guidance_growth
@@ -49,6 +50,7 @@ class SizePrediction:
     step_bytes: np.ndarray
     cumulative_bytes: np.ndarray
     burst_seconds: Optional[np.ndarray] = None
+    machine: Optional[str] = None  # set when a platform drove the timing
 
     @property
     def total_bytes(self) -> float:
@@ -60,10 +62,11 @@ class SizePrediction:
         return translate(self.inputs, self.nprocs, model)
 
     def summary(self) -> str:
+        on = f" on {self.machine}" if self.machine else ""
         return (
             f"predicted {self.inputs.n_cell[0]}x{self.inputs.n_cell[1]} "
             f"maxlev={self.inputs.max_level} cfl={self.inputs.cfl} "
-            f"np={self.nprocs}: total {self.total_bytes:.4g} B over "
+            f"np={self.nprocs}{on}: total {self.total_bytes:.4g} B over "
             f"{len(self.step_bytes)} dumps "
             f"(f={self.f:.2f}, g={self.growth:.5f} from {self.growth_source})"
         )
@@ -77,6 +80,7 @@ def predict_sizes(
     regression: Optional[LinearModel] = None,
     storage: Optional[StorageModel] = None,
     topology: Optional[JobTopology] = None,
+    platform=None,
 ) -> SizePrediction:
     """Predict the output-size series of an unseen configuration.
 
@@ -84,9 +88,21 @@ def predict_sizes(
     wins, then a fitted ``regression`` model, then the paper's
     Appendix-A guidance rule.  ``f`` defaults to the band midpoint;
     pass a fitted value when one is available for the mesh family.
+
+    ``platform`` (a registry name or :class:`~repro.platform.Platform`)
+    is the zero-run machine axis: it supplies the storage model
+    (deterministic, ``variability=0`` so machines compare apples to
+    apples) and the default rank packing, so the same configuration can
+    be predicted on every registered machine without a single run.
+    Explicit ``storage``/``topology`` arguments still win.
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
+    plat = get_platform(platform) if platform is not None else None
+    machine = None
+    if storage is None and plat is not None:
+        storage = plat.storage_model(variability=0.0)
+        machine = plat.name  # label only timings the platform produced
     if growth_table is not None and len(growth_table) > 0:
         growth = interpolate_growth(growth_table, inputs.cfl, inputs.max_level)
         source = "table"
@@ -105,7 +121,12 @@ def predict_sizes(
     steps = growth_series(base, growth, n_dumps)
     prediction_burst = None
     if storage is not None:
-        topo = topology or JobTopology.summit_default(nprocs)
+        if topology is not None:
+            topo = topology
+        elif plat is not None:
+            topo = plat.default_topology(nprocs)
+        else:
+            topo = JobTopology.summit_default(nprocs)
         nodes = topo.node_map()  # one build, reused across all dumps
         per_rank = np.empty(nprocs, dtype=np.int64)
         bursts = []
@@ -122,4 +143,5 @@ def predict_sizes(
         step_bytes=steps,
         cumulative_bytes=np.cumsum(steps),
         burst_seconds=prediction_burst,
+        machine=machine,
     )

@@ -1,10 +1,19 @@
-"""I/O substrate: filesystem backends, storage timing, traces, Summit."""
+"""I/O substrate: filesystem backends, storage-model hierarchy, traces.
+
+Machine constants live in :mod:`repro.platform`; the deprecated
+``SUMMIT`` singleton stays importable from here as a shim.
+"""
 
 from .burst import BurstEvent, BurstSchedule
 from .darshan import IORecord, IOTrace, TraceColumns
 from .filesystem import FileSystem, RealFileSystem, VirtualFileSystem, format_tree
 from .readmodel import RestartCost, optimal_check_interval, restart_read_time
-from .storage import StorageModel, WriteCost
+from .storage import (
+    BurstBufferStorageModel,
+    LustreStorageModel,
+    StorageModel,
+    WriteCost,
+)
 from .summit import SUMMIT, SummitSystem
 
 __all__ = [
@@ -18,6 +27,8 @@ __all__ = [
     "VirtualFileSystem",
     "format_tree",
     "StorageModel",
+    "LustreStorageModel",
+    "BurstBufferStorageModel",
     "WriteCost",
     "RestartCost",
     "optimal_check_interval",

@@ -67,6 +67,33 @@ class BurstSchedule:
         # once instead of once per add_step.
         self._node_map = topology.node_map()
 
+    @classmethod
+    def for_machine(
+        cls,
+        machine,
+        nprocs: int,
+        compute_time: float = 0.0,
+        nnodes: Optional[int] = None,
+        variability: float = 0.15,
+        seed: int = 12345,
+    ) -> "BurstSchedule":
+        """A schedule on a registered platform (name or Platform).
+
+        Builds the machine's storage model and topology in one call —
+        ``nnodes=None`` uses the platform's default rank packing.
+        """
+        from ..platform import get_platform  # local: avoid import cycle
+
+        p = get_platform(machine)
+        topo = (
+            p.default_topology(nprocs)
+            if nnodes is None
+            else p.topology(nprocs, nnodes)
+        )
+        return cls(
+            p.storage_model(variability=variability, seed=seed), topo, compute_time
+        )
+
     # ------------------------------------------------------------------
     def add_step(self, step: int, bytes_per_rank: Sequence[int]) -> BurstEvent:
         """Append one compute+burst cycle; returns the event."""

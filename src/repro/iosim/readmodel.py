@@ -42,16 +42,19 @@ def restart_read_time(
     storage: StorageModel,
     topology: Optional[JobTopology] = None,
     read_bandwidth_factor: float = 1.2,
+    machine=None,
 ) -> RestartCost:
     """Modeled time to read back the files of dump ``step``.
 
     Reads typically run somewhat faster than writes on GPFS
     (``read_bandwidth_factor``); metadata is read by every rank (the
-    Header broadcast pattern).
+    Header broadcast pattern).  Without an explicit ``topology`` the
+    ranks are packed with ``machine``'s default layout (summit when
+    unset — the historical behavior).
     """
     if read_bandwidth_factor <= 0:
         raise ValueError("read_bandwidth_factor must be positive")
-    topo = topology or JobTopology.summit_default(nprocs)
+    topo = topology or JobTopology.for_machine(nprocs, machine)
     per_rank = trace.bytes_per_rank(step=step, nprocs=nprocs, kind="data")
     data_bytes = int(per_rank.sum())
     meta_bytes = trace.bytes_per_step(kind="metadata").get(step, 0)

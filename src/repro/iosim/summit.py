@@ -1,8 +1,16 @@
-"""Summit platform constants and run-scale helpers.
+"""Deprecated Summit shim — use :mod:`repro.platform` instead.
 
-The paper's campaign spans 1–512 Summit nodes (1/9 of the 4608-node
-system) and 1–1024 MPI tasks (Table III).  These constants let the
-campaign and timing layers reason about the same machine envelope.
+Summit is now one entry in the string-keyed machine registry::
+
+    from repro.platform import get_platform
+    summit = get_platform("summit")
+    summit.storage_model(), summit.topology(1024, 512), ...
+
+This module keeps the historical ``SUMMIT`` singleton and
+``SummitSystem`` class importable for existing callers; the constants
+are the same numbers the ``summit`` registry entry carries (pinned
+equivalent by ``tests/test_platform.py``).  No internal code imports
+``SUMMIT`` any more.
 """
 
 from __future__ import annotations
@@ -17,7 +25,11 @@ __all__ = ["SummitSystem", "SUMMIT"]
 
 @dataclass(frozen=True)
 class SummitSystem:
-    """Static description of the Summit machine (OLCF published specs)."""
+    """Static description of the Summit machine (OLCF published specs).
+
+    Deprecated: prefer ``repro.platform.get_platform("summit")``, which
+    carries the same constants plus the filesystem spec.
+    """
 
     total_nodes: int = 4608
     cores_per_node: int = 42
@@ -27,10 +39,14 @@ class SummitSystem:
     alpine_aggregate_bw: float = 2.5e12
 
     def max_fraction_nodes(self, fraction: float) -> int:
-        """Nodes available when using a fraction of the system (paper: 1/9)."""
+        """Nodes available when using a fraction of the system (paper: 1/9).
+
+        Clamped to at least 1: a tiny allocation (e.g. ``1/5000``) is
+        still one node, not zero.
+        """
         if not (0 < fraction <= 1):
             raise ValueError("fraction must be in (0, 1]")
-        return int(self.total_nodes * fraction)
+        return max(1, int(self.total_nodes * fraction))
 
     def storage_model(self, variability: float = 0.15, seed: int = 12345) -> StorageModel:
         return StorageModel.summit_alpine(variability=variability, seed=seed)

@@ -2,7 +2,9 @@
 
 ``python -m repro.macsio.main --interface miftmpl ...`` (or the
 ``repro-macsio`` console script) accepts the Listing-1 argument set plus
-``-n/--np`` for the simulated task count, runs the proxy, and prints the
+``-n/--np`` for the simulated task count, ``--timing`` to model burst
+times, and ``--machine`` to pick the registered platform the timing
+model describes (default summit); it runs the proxy and prints the
 per-dump and cumulative output sizes.
 """
 
@@ -12,8 +14,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..iosim.filesystem import RealFileSystem, VirtualFileSystem
-from ..iosim.storage import StorageModel
-from ..parallel.topology import JobTopology
+from ..platform import get_platform
 from .dump import run_macsio
 from .params import parse_argv
 
@@ -26,33 +27,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     nprocs = 1
     outdir: Optional[str] = None
     timing = False
+    machine: Optional[str] = None
     rest: List[str] = []
-    i = 0
-    while i < len(args):
-        a = args[i]
-        if a in ("-n", "--np"):
-            nprocs = int(args[i + 1])
-            i += 2
-        elif a == "--outdir":
-            outdir = args[i + 1]
-            i += 2
-        elif a == "--timing":
-            timing = True
-            i += 1
-        elif a in ("-h", "--help"):
-            print(__doc__)
-            return 0
-        else:
-            rest.append(a)
-            i += 1
     try:
+        i = 0
+        while i < len(args):
+            a = args[i]
+            if a in ("-n", "--np"):
+                nprocs = int(args[i + 1])
+                i += 2
+            elif a == "--outdir":
+                outdir = args[i + 1]
+                i += 2
+            elif a == "--timing":
+                timing = True
+                i += 1
+            elif a == "--machine":
+                machine = args[i + 1]
+                i += 2
+            elif a in ("-h", "--help"):
+                print(__doc__)
+                return 0
+            else:
+                rest.append(a)
+                i += 1
         params = parse_argv(rest)
-    except (ValueError, IndexError) as exc:
+        platform = get_platform(machine)
+    except (ValueError, IndexError, KeyError) as exc:
         print(f"argument error: {exc}", file=sys.stderr)
         return 2
     fs = RealFileSystem(outdir) if outdir else VirtualFileSystem()
-    storage = StorageModel.summit_alpine() if timing else None
-    topo = JobTopology.summit_default(nprocs) if timing else None
+    storage = platform.storage_model() if timing else None
+    topo = platform.default_topology(nprocs) if timing else None
     run = run_macsio(params, nprocs, fs=fs, storage=storage, topology=topo)
     cum = run.cumulative_bytes()
     print(f"# MACSio proxy: {nprocs} tasks, {params.num_dumps} dumps, "

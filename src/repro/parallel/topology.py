@@ -68,3 +68,16 @@ class JobTopology:
         nnodes = ceil(nprocs / rpn))."""
         nnodes = max(1, -(-nprocs // ranks_per_node))
         return JobTopology(nprocs, nnodes)
+
+    @staticmethod
+    def for_machine(nprocs: int, machine=None) -> "JobTopology":
+        """Default packing on a registered platform (name or Platform).
+
+        ``None`` resolves to the default machine (summit), whose packing
+        matches :meth:`summit_default`.  Node count is clamped to the
+        machine's size — on a one-node workstation every rank shares the
+        node.
+        """
+        from ..platform import get_platform  # local: platform imports this module
+
+        return get_platform(machine).default_topology(nprocs)

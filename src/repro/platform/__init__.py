@@ -1,0 +1,41 @@
+"""Pluggable machine registry: Platform specs + storage-model dispatch.
+
+``get_platform("frontier")`` (or any registered name) returns a
+:class:`~repro.platform.machine.Platform` — nodes, cores, memory,
+default rank packing, and a filesystem spec that knows how to build the
+matching :class:`~repro.iosim.storage.StorageModel` flavor.  See
+``docs/PLATFORMS.md`` for the registry contents, the per-flavor model
+math, and how to add a machine.
+"""
+
+from .builtin import (
+    BURST_BUFFER_PLATFORM,
+    FRONTIER_PLATFORM,
+    SUMMIT_PLATFORM,
+    WORKSTATION_PLATFORM,
+)
+from .machine import (
+    DEFAULT_MACHINE,
+    PLATFORM_REGISTRY,
+    FilesystemSpec,
+    Platform,
+    UnknownMachineError,
+    available_platforms,
+    get_platform,
+    register_platform,
+)
+
+__all__ = [
+    "DEFAULT_MACHINE",
+    "PLATFORM_REGISTRY",
+    "FilesystemSpec",
+    "Platform",
+    "UnknownMachineError",
+    "available_platforms",
+    "get_platform",
+    "register_platform",
+    "SUMMIT_PLATFORM",
+    "FRONTIER_PLATFORM",
+    "BURST_BUFFER_PLATFORM",
+    "WORKSTATION_PLATFORM",
+]

@@ -36,6 +36,7 @@ from ..hydro.state import NCOMP, QP, URHO, cons_to_prim
 from ..hydro.timestep import TimestepController, cfl_timestep
 from ..iosim.darshan import IOTrace
 from ..iosim.filesystem import FileSystem, VirtualFileSystem
+from ..platform import get_platform
 from ..plotfile.writer import PlotfileSpec, write_plotfile
 from .inputs import CastroInputs
 
@@ -63,6 +64,7 @@ class SimResult:
     final_time: float = 0.0
     steps_taken: int = 0
     mass_history: List[float] = field(default_factory=list)
+    machine: str = "summit"  # repro.platform registry name the run targets
 
     @property
     def n_outputs(self) -> int:
@@ -82,6 +84,7 @@ class CastroSim:
         tag_criteria: TagCriteria = TagCriteria(rel_gradient=0.25),
         distribution_strategy: str = "sfc",
         nnodes: int = 1,
+        machine: str = "summit",
     ) -> None:
         self.inputs = inputs
         self.nprocs = int(nprocs)
@@ -91,6 +94,9 @@ class CastroSim:
         self.tag_criteria = tag_criteria
         self.trace = IOTrace()
         self.nnodes = nnodes
+        platform = get_platform(machine)
+        platform.check_nodes(self.nnodes)  # the job fits on the machine
+        self.machine = platform.name
 
         inp = inputs
         self._fine_factor = inp.ref_ratio**inp.max_level
@@ -250,7 +256,9 @@ class CastroSim:
     def run(self) -> SimResult:
         """Full run: init -> (advance, regrid, dump) loop -> result."""
         inp = self.inputs
-        result = SimResult(inputs=inp, nprocs=self.nprocs, trace=self.trace)
+        result = SimResult(
+            inputs=inp, nprocs=self.nprocs, trace=self.trace, machine=self.machine
+        )
         self.regrid()
         result.outputs.append(self.write_plot())
         result.mass_history.append(self.total_mass())

@@ -28,6 +28,7 @@ from ..hydro.eos import GammaLawEOS
 from ..hydro.sedov import SedovProblem
 from ..iosim.darshan import IOTrace
 from ..iosim.filesystem import FileSystem, VirtualFileSystem
+from ..platform import get_platform
 from ..plotfile.writer import PlotfileSpec, write_plotfile
 from ..sim.castro import OutputEvent, SimResult
 from ..sim.inputs import CastroInputs
@@ -54,6 +55,7 @@ class SedovWorkloadGenerator:
         coefficients: AnnulusCoefficients = AnnulusCoefficients(),
         distribution_strategy: str = "sfc",
         nnodes: int = 1,
+        machine: str = "summit",
     ) -> None:
         self.inputs = inputs
         self.nprocs = int(nprocs)
@@ -63,6 +65,9 @@ class SedovWorkloadGenerator:
         self.coefficients = coefficients
         self.distribution_strategy = distribution_strategy
         self.nnodes = nnodes
+        platform = get_platform(machine)
+        platform.check_nodes(self.nnodes)  # the job fits on the machine
+        self.machine = platform.name
         self.trace = IOTrace()
         base_domain = Box.cell_centered(*inputs.n_cell)
         self._geoms: List[Geometry] = [
@@ -149,7 +154,9 @@ class SedovWorkloadGenerator:
     def run(self) -> SimResult:
         """Generate all dumps of the configured run."""
         inp = self.inputs
-        result = SimResult(inputs=inp, nprocs=self.nprocs, trace=self.trace)
+        result = SimResult(
+            inputs=inp, nprocs=self.nprocs, trace=self.trace, machine=self.machine
+        )
         spec = PlotfileSpec(
             prefix=inp.plot_file,
             derive_all=inp.derive_plot_vars.upper() == "ALL",

@@ -39,6 +39,7 @@ REQUIRED_JSON = {
     "BENCH_campaign.json",
     "BENCH_solver.json",
     "BENCH_dump.json",
+    "BENCH_platforms.json",
 }
 
 
