@@ -4,12 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-solver bench-dump bench-platforms docs-check ci all
+.PHONY: test test-service bench bench-smoke bench-solver bench-dump bench-platforms bench-service docs-check ci all
 
 all: test docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Just the prediction-service layer: engine/LRU/serve unit tests, the
+# one-shot equivalence suite, and the fault-injection suite.
+test-service:
+	$(PYTHON) -m pytest tests/test_service.py tests/test_service_equivalence.py tests/test_service_faults.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
@@ -32,13 +37,20 @@ bench-dump:
 bench-platforms:
 	$(PYTHON) -m pytest benchmarks/bench_platforms.py -q -o python_files='bench_*.py'
 
+# Full-size run of the prediction-service load bench (10^5 batched
+# requests: cold vs warm LRU vs per-call predict_sizes, plus
+# lookup_many against a warm store); asserts the >=5x warm-path floor
+# and writes BENCH_service.json.
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_service.py -q -o python_files='bench_*.py'
+
 # Tiny-size run of every bench (REPRO_BENCH_SMOKE=1), asserting each
 # emits its artifact — bench-harness regressions without the bench cost.
 bench-smoke:
 	$(PYTHON) tools/bench_smoke.py
 
 docs-check:
-	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md docs/PLATFORMS.md
+	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md docs/PLATFORMS.md docs/SERVICE.md
 
 # The one-stop regression gate: tests + docs + bench harness.
 ci: test docs-check bench-smoke

@@ -49,7 +49,7 @@ def _timed(executor, cases, **kwargs):
     return result, time.perf_counter() - t0
 
 
-def test_campaign_parallel_vs_serial(once, emit, tmp_path, smoke):
+def test_campaign_parallel_vs_serial(once, emit, bench_json, tmp_path, smoke):
     cases = _bench_sweep(smoke)
     assert smoke or len(cases) >= 8
     ncpu = multiprocessing.cpu_count()
@@ -92,9 +92,7 @@ def test_campaign_parallel_vs_serial(once, emit, tmp_path, smoke):
         "cached_executed": cached_result.n_executed,
         "records_equal": parallel_result.records == serial_result.records,
     }
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
+    bench_json(BENCH_PATH, payload)
     emit("BENCH_campaign", json.dumps(payload, indent=1))
 
     assert cached_s < serial_s, "cached replay must beat re-executing the sweep"

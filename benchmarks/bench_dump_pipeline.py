@@ -363,7 +363,7 @@ def _bench_inspect(new_fs, smoke):
     }
 
 
-def test_dump_pipeline_vs_seed(once, emit, smoke):
+def test_dump_pipeline_vs_seed(once, emit, bench_json, smoke):
     size_row, new_fs = once(_bench_size_mode, smoke)
     data_row = _bench_data_mode(smoke)
     inspect_row = _bench_inspect(new_fs, smoke)
@@ -374,9 +374,7 @@ def test_dump_pipeline_vs_seed(once, emit, smoke):
         "data_mode": data_row,
         "inspect": inspect_row,
     }
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
+    bench_json(BENCH_PATH, payload)
     emit("BENCH_dump", json.dumps(payload, indent=1))
 
     if not smoke:

@@ -54,7 +54,7 @@ def _dump_series(nprocs, n_dumps, rng):
     return base
 
 
-def test_platform_burst_throughput(once, emit, smoke):
+def test_platform_burst_throughput(once, emit, bench_json, smoke):
     nprocs = 16 if smoke else 1024
     n_dumps = 5 if smoke else 100
     dumps = _dump_series(nprocs, n_dumps, np.random.default_rng(2022))
@@ -106,9 +106,7 @@ def test_platform_burst_throughput(once, emit, smoke):
         "min_speedup": min_speedup,
         "speedup_floor": SPEEDUP_FLOOR,
     }
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
+    bench_json(BENCH_PATH, payload)
     emit("BENCH_platforms", json.dumps(payload, indent=1))
 
     # cross-machine sanity: one shared NVMe device must lose to 64

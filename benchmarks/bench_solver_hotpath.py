@@ -177,7 +177,7 @@ def _bench_one_mesh(n, max_grid, nsteps):
     }
 
 
-def test_solver_hotpath_vs_seed(once, emit, smoke):
+def test_solver_hotpath_vs_seed(once, emit, bench_json, smoke):
     meshes = SMOKE_MESHES if smoke else FULL_MESHES
     nsteps = SMOKE_STEPS if smoke else FULL_STEPS
     _bench_one_mesh(*SMOKE_MESHES[0], nsteps=1)  # warm numpy kernels
@@ -194,9 +194,7 @@ def test_solver_hotpath_vs_seed(once, emit, smoke):
         "speedup_floor": SPEEDUP_FLOOR,
         "rows": rows,
     }
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
+    bench_json(BENCH_PATH, payload)
     emit("BENCH_solver", json.dumps(payload, indent=1))
 
     if not smoke:

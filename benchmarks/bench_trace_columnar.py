@@ -195,7 +195,7 @@ def _bench_one_size(n, nprocs=128):
     }
 
 
-def test_trace_columnar_vs_legacy(once, emit, smoke):
+def test_trace_columnar_vs_legacy(once, emit, bench_json, smoke):
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     _bench_one_size(500)  # warm numpy kernels before any timed pass
     rows = [_bench_one_size(n) for n in sizes[:-1]]
@@ -208,9 +208,7 @@ def test_trace_columnar_vs_legacy(once, emit, smoke):
         "speedup_floor": SPEEDUP_FLOOR,
         "rows": rows,
     }
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
+    bench_json(BENCH_PATH, payload)
     emit("BENCH_trace", json.dumps(payload, indent=1))
 
     if not smoke:

@@ -8,11 +8,23 @@ Assertions check the reproduced *shape* — who wins, rough factors,
 where crossovers fall — not Summit-absolute numbers.
 """
 
+import json
 import os
 
 import pytest
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def smoke_artifact_path(path: str) -> str:
+    """The smoke-run variant of a ``BENCH_*.json`` artifact path.
+
+    Inserts ``_smoke`` before the extension: tiny-size smoke runs write
+    ``BENCH_x_smoke.json`` so they never clobber the checked-in
+    full-size artifacts, whose speedup floors only hold at full size.
+    """
+    root, ext = os.path.splitext(path)
+    return root + "_smoke" + ext
 
 
 @pytest.fixture(scope="session")
@@ -25,6 +37,26 @@ def smoke():
     bench-harness regressions without the full bench cost.
     """
     return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+@pytest.fixture
+def bench_json(smoke):
+    """bench_json(path, payload): write one ``BENCH_*.json`` artifact.
+
+    The single place that knows smoke runs are redirected to the
+    ``_smoke`` path (see :func:`smoke_artifact_path`) — full-size
+    artifacts under version control survive ``make bench-smoke``.
+    """
+
+    def _write(path: str, payload) -> str:
+        if smoke:
+            path = smoke_artifact_path(path)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        return path
+
+    return _write
 
 
 @pytest.fixture

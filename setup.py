@@ -36,6 +36,7 @@ setup(
             "repro-macsio=repro.cli:macsio_main",
             "repro-model=repro.cli:model_main",
             "repro-campaign=repro.cli:campaign_main",
+            "repro-serve=repro.cli:serve_main",
         ]
     },
     classifiers=[

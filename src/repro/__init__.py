@@ -22,6 +22,9 @@ Subpackages
     burst-buffer, workstation) dispatching the storage-model hierarchy.
 ``repro.campaign`` / ``repro.analysis``
     The 47-run study machinery and the figure/table analysis layer.
+``repro.service``
+    Prediction-as-a-service: the batched query engine over the
+    predictor and the result store (``repro-serve``).
 """
 
 __version__ = "1.1.0"
@@ -37,6 +40,7 @@ from . import (
     parallel,
     platform,
     plotfile,
+    service,
     sim,
     workload,
 )
@@ -52,6 +56,7 @@ __all__ = [
     "parallel",
     "platform",
     "plotfile",
+    "service",
     "sim",
     "workload",
     "__version__",

@@ -13,7 +13,7 @@ from .cases import (
 from .executor import CampaignExecutor, CaseOutcome
 from .records import RunRecord, load_records, record_from_result, save_records
 from .runner import CampaignResult, run_campaign, run_case
-from .store import ResultStore, case_key
+from .store import ResultStore, StoreCorruptionWarning, case_key
 from .sweep import (
     TABLE_III_RANGES,
     estimated_cost,
@@ -40,6 +40,7 @@ __all__ = [
     "run_campaign",
     "run_case",
     "ResultStore",
+    "StoreCorruptionWarning",
     "case_key",
     "TABLE_III_RANGES",
     "estimated_cost",

@@ -87,6 +87,7 @@ def run_campaign(
     jobs: int = 1,
     store=None,
     timeout: Optional[float] = None,
+    service=None,
     **kwargs,
 ) -> CampaignResult:
     """Run a list of cases through the :class:`CampaignExecutor`.
@@ -94,10 +95,20 @@ def run_campaign(
     ``jobs`` is the worker-process count (1 = in-process serial, the
     historical behavior; None = all cores), ``store`` an optional
     :class:`~repro.campaign.store.ResultStore` for cache/resume,
-    ``timeout`` a per-case limit in seconds.  Remaining kwargs forward
-    to :func:`run_case`.
+    ``timeout`` a per-case limit in seconds.  ``service`` is an optional
+    :class:`~repro.service.engine.PredictionService`: the sweep runs
+    against the service's store (unless ``store`` overrides it), so
+    every finished case is servable through ``lookup_many`` the moment
+    it completes.  Remaining kwargs forward to :func:`run_case`.
     """
     from .executor import CampaignExecutor
 
+    if service is not None and store is None:
+        store = service.store
+        if store is None:
+            raise ValueError(
+                "service has no ResultStore attached; pass store= or build "
+                "the service with one"
+            )
     executor = CampaignExecutor(max_workers=jobs, timeout=timeout, store=store)
     return executor.run(cases, progress=progress, **kwargs)

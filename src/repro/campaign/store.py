@@ -24,15 +24,27 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import asdict
 from typing import Dict, Iterator, List, Optional
 
 from .cases import Case
 from .records import RunRecord, record_from_dict
 
-__all__ = ["case_key", "ResultStore"]
+__all__ = ["case_key", "ResultStore", "StoreCorruptionWarning"]
 
 STORE_FORMAT = 1
+
+
+class StoreCorruptionWarning(UserWarning):
+    """Corrupt or truncated JSONL lines were skipped while loading a
+    :class:`ResultStore`.
+
+    One torn line is expected after an interrupted ``put`` (^C mid
+    write) and resume is designed to survive it — but the skip is
+    *reported*, never silent, so a store poisoned some other way (disk
+    corruption, a partial copy, an editor mangling the file) doesn't
+    quietly serve fewer results than it holds."""
 
 
 def _code_version() -> str:
@@ -123,8 +135,9 @@ class ResultStore:
         this version.  If lines were superseded or torn, the file is
         compacted so a long-lived store doesn't grow without bound."""
         n_lines = 0
+        n_corrupt = 0
         with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
                 if not line:
                     continue
@@ -132,14 +145,26 @@ class ResultStore:
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
+                    n_corrupt += 1
                     continue
                 if not isinstance(entry, dict) or "key" not in entry or "record" not in entry:
+                    n_corrupt += 1
                     continue
                 if entry.get("code_version") != self.code_version:
                     self._foreign[entry["key"]] = entry
                     continue
                 # later lines win: a re-put after invalidation supersedes
                 self._entries[entry["key"]] = entry
+        if n_corrupt:
+            warnings.warn(
+                StoreCorruptionWarning(
+                    f"{path}: skipped {n_corrupt} corrupt/truncated JSONL "
+                    f"line(s) of {n_lines}; {len(self._entries)} intact "
+                    f"result(s) loaded (a single torn final line is the "
+                    f"signature of an interrupted put)"
+                ),
+                stacklevel=3,
+            )
         if n_lines != len(self._entries) + len(self._foreign):
             self._rewrite()
 

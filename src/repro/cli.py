@@ -4,6 +4,7 @@
 ``repro-macsio``    run the MACSio proxy (Listing-1 argument set)
 ``repro-model``     calibrate the proxy model for a named case
 ``repro-campaign``  run the 47-case Table-III campaign and save records
+``repro-serve``     answer batched JSONL prediction/lookup queries
 """
 
 from __future__ import annotations
@@ -25,7 +26,8 @@ from .macsio.main import main as _macsio_main
 from .platform import available_platforms, get_platform
 from .sim.inputs import CastroInputs, parse_inputs
 
-__all__ = ["sedov_main", "macsio_main", "model_main", "campaign_main"]
+__all__ = ["sedov_main", "macsio_main", "model_main", "campaign_main",
+           "serve_main"]
 
 
 def _resolve_case(name: str) -> Case:
@@ -119,6 +121,55 @@ def _fmt_params(report) -> List[str]:
     from .macsio.params import format_argv
 
     return format_argv(report.macsio_params, report.nprocs)
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Answer batched prediction/lookup queries (JSONL in, JSONL out)."""
+    import json as _json
+
+    from .service import PredictionService, serve_stream
+
+    ap = argparse.ArgumentParser(prog="repro-serve", description=serve_main.__doc__)
+    ap.add_argument("--requests", default="-", metavar="PATH",
+                    help="JSONL request file, one object per line "
+                         "('-' = stdin, the default). Fields: op "
+                         "(predict|lookup), scenario, machine, nprocs, "
+                         "steps, f, inputs")
+    ap.add_argument("--responses", default="-", metavar="PATH",
+                    help="JSONL response file ('-' = stdout, the default); "
+                         "one line per request, in request order")
+    ap.add_argument("--store", metavar="PATH",
+                    help="ResultStore JSONL file backing lookup requests "
+                         "(campaign results become servable cache hits)")
+    ap.add_argument("--cache-size", type=int, default=4096,
+                    help="bound of the prediction LRU (default 4096)")
+    ap.add_argument("--stats", action="store_true",
+                    help="print serve/cache statistics to stderr")
+    args = ap.parse_args(argv)
+    if args.cache_size < 1:
+        ap.error("--cache-size must be >= 1")
+    store = ResultStore(args.store) if args.store else None
+    service = PredictionService(store=store, cache_size=args.cache_size)
+    infile = sys.stdin if args.requests == "-" else open(args.requests, "r",
+                                                        encoding="utf-8")
+    outfile = sys.stdout if args.responses == "-" else open(args.responses, "w",
+                                                            encoding="utf-8")
+    try:
+        report = serve_stream(service, infile, outfile)
+    finally:
+        if infile is not sys.stdin:
+            infile.close()
+        if outfile is not sys.stdout:
+            outfile.close()
+    if args.stats:
+        print(f"served {report.n_requests} request(s): "
+              f"{report.n_predict} predict ({report.n_cached} cached), "
+              f"{report.n_lookup} lookup ({report.n_store_hits} hits), "
+              f"{report.n_errors} error(s)", file=sys.stderr)
+        print(_json.dumps(service.stats(), indent=1), file=sys.stderr)
+    # per-request errors are data (captured in the response lines), not
+    # a process failure; only harness problems exit non-zero
+    return 0
 
 
 def campaign_main(argv: Optional[Sequence[str]] = None) -> int:

@@ -32,10 +32,32 @@ from .part_size import part_size_model
 from .regression import CaseFeatures, LinearModel
 from .translator import ProxyModel, translate
 
-__all__ = ["SizePrediction", "predict_sizes", "DEFAULT_F"]
+__all__ = ["SizePrediction", "predict_sizes", "burst_series", "DEFAULT_F"]
 
 # Midpoint of the paper's empirical band — the zero-information prior.
 DEFAULT_F = 24.0
+
+
+def burst_series(
+    storage: StorageModel,
+    step_bytes: np.ndarray,
+    nprocs: int,
+    node_map: np.ndarray,
+) -> np.ndarray:
+    """Per-dump burst times of an even N-to-N split, one dump at a time.
+
+    Each dump's total is divided evenly over the ranks (truncating, the
+    paper's even-split assumption) and pushed through
+    :meth:`StorageModel.burst_time` against the given node layout.
+    Shared by :func:`predict_sizes` and the prediction service's
+    fallback path, so both produce the same floats by construction.
+    """
+    per_rank = np.empty(nprocs, dtype=np.int64)
+    bursts = []
+    for k in range(len(step_bytes)):
+        per_rank[:] = int(step_bytes[k] / nprocs)
+        bursts.append(storage.burst_time(per_rank, node_map))
+    return np.asarray(bursts)
 
 
 @dataclass(frozen=True)
@@ -128,12 +150,7 @@ def predict_sizes(
         else:
             topo = JobTopology.summit_default(nprocs)
         nodes = topo.node_map()  # one build, reused across all dumps
-        per_rank = np.empty(nprocs, dtype=np.int64)
-        bursts = []
-        for k in range(n_dumps):
-            per_rank[:] = int(steps[k] / nprocs)
-            bursts.append(storage.burst_time(per_rank, nodes))
-        prediction_burst = np.asarray(bursts)
+        prediction_burst = burst_series(storage, steps, nprocs, nodes)
     return SizePrediction(
         inputs=inputs,
         nprocs=nprocs,

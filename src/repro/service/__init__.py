@@ -1,0 +1,38 @@
+"""Prediction-as-a-service: a batched query engine over the predictor
+and the campaign :class:`~repro.campaign.store.ResultStore`.
+
+:class:`PredictionService` loads calibrations once, keeps hot platform
+plans and finished predictions in bounded LRU caches, and answers
+batches — ``predict_many`` bit-identical to per-call
+:func:`~repro.core.predictor.predict_sizes`, ``lookup_many`` hashing
+each unique case content once.  ``repro-serve`` is the JSONL CLI front
+end.  See ``docs/SERVICE.md``.
+"""
+
+from .engine import PredictionService
+from .lru import LRUCache
+from .plans import PlatformPlan
+from .request import (
+    LookupRequest,
+    LookupResponse,
+    PredictRequest,
+    PredictResponse,
+    request_from_dict,
+    response_to_dict,
+)
+from .serve import ServeReport, serve_lines, serve_stream
+
+__all__ = [
+    "PredictionService",
+    "LRUCache",
+    "PlatformPlan",
+    "PredictRequest",
+    "PredictResponse",
+    "LookupRequest",
+    "LookupResponse",
+    "request_from_dict",
+    "response_to_dict",
+    "ServeReport",
+    "serve_lines",
+    "serve_stream",
+]

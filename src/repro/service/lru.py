@@ -1,0 +1,84 @@
+"""Bounded LRU cache with hit/miss/eviction accounting.
+
+The service keeps two of these: resolved platform *plans* (machine x
+nprocs — the expensive-to-build storage model + node map) and finished
+*predictions* (one per unique request).  Both are bounded so a
+long-lived service saturates instead of growing without bound, and both
+expose their counters through :meth:`PredictionService.stats` so load
+tests can assert cache behavior, not just timings.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterator, Optional
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """An ordered dict bounded to ``maxsize`` entries, LRU-evicted.
+
+    ``get`` refreshes recency; ``put`` inserts/overwrites and evicts the
+    least-recently-used entry once the bound is exceeded.  ``maxsize``
+    must be >= 1 — a cache that can hold nothing would turn every
+    lookup into a miss while still paying the bookkeeping.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def get(self, key: Hashable, default=None):
+        """Counted lookup: a hit refreshes the entry's recency."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default=None):
+        """Uncounted lookup that does not refresh recency."""
+        return self._data.get(key, default)
+
+    def put(self, key: Hashable, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        return self._data.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (counters are cumulative and survive)."""
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

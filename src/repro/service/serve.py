@@ -1,0 +1,109 @@
+"""JSONL batch serving: the ``repro-serve`` request/response loop.
+
+Reads one JSON request object per input line, answers through a
+:class:`~repro.service.engine.PredictionService`, and writes one JSON
+response object per line **in input order**.  Fault capture extends to
+the wire: a line that is not valid JSON, or not a valid request object,
+produces an error response at its index — never a batch failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import IO, Dict, Iterable, List, Tuple
+
+from .engine import PredictionService
+from .request import (
+    LookupRequest,
+    PredictRequest,
+    request_from_dict,
+    response_to_dict,
+)
+
+__all__ = ["ServeReport", "serve_lines", "serve_stream"]
+
+
+@dataclass
+class ServeReport:
+    """What one batch did: request/response counts by kind."""
+
+    n_requests: int = 0
+    n_predict: int = 0
+    n_lookup: int = 0
+    n_errors: int = 0
+    n_cached: int = 0
+    n_store_hits: int = 0
+
+
+def serve_lines(
+    service: PredictionService, lines: Iterable[str]
+) -> Tuple[List[Dict], ServeReport]:
+    """Answer a batch of JSONL request lines; responses in input order.
+
+    Blank lines are skipped (a trailing newline is not a request).
+    """
+    report = ServeReport()
+    parsed: List[Tuple[int, str]] = []
+    responses: List[Dict] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        parsed.append((len(parsed), line))
+        responses.append({})
+    # Parse each line; malformed ones become error responses in place.
+    predicts: List[Tuple[int, PredictRequest]] = []
+    lookups: List[Tuple[int, LookupRequest]] = []
+    for i, line in parsed:
+        try:
+            request = request_from_dict(json.loads(line))
+        except Exception as exc:
+            responses[i] = {
+                "index": i, "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            report.n_errors += 1
+            continue
+        if isinstance(request, PredictRequest):
+            predicts.append((i, request))
+        else:
+            lookups.append((i, request))
+    report.n_requests = len(parsed)
+    report.n_predict = len(predicts)
+    report.n_lookup = len(lookups)
+    if predicts:
+        answers = service.predict_many([r for _, r in predicts])
+        for (i, _), resp in zip(predicts, answers):
+            resp = replace(resp, index=i)
+            report.n_errors += not resp.ok
+            report.n_cached += resp.cached
+            responses[i] = response_to_dict(resp)
+    if lookups:
+        if service.store is None:
+            # no store on this service: per-request errors, not a crash
+            for i, _ in lookups:
+                responses[i] = {
+                    "op": "lookup", "index": i, "ok": False,
+                    "error": "ValueError: no ResultStore attached "
+                             "(start the service with --store)",
+                }
+                report.n_errors += 1
+            return responses, report
+        answers = service.lookup_many([r for _, r in lookups])
+        for (i, _), resp in zip(lookups, answers):
+            resp = replace(resp, index=i)
+            report.n_errors += not resp.ok
+            report.n_store_hits += resp.hit
+            responses[i] = response_to_dict(resp)
+    return responses, report
+
+
+def serve_stream(
+    service: PredictionService, infile: IO[str], outfile: IO[str]
+) -> ServeReport:
+    """Serve a JSONL stream end to end (one response line per request)."""
+    responses, report = serve_lines(service, infile)
+    for payload in responses:
+        outfile.write(json.dumps(payload, separators=(",", ":")) + "\n")
+    return report

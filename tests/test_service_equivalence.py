@@ -1,0 +1,173 @@
+"""Pinned equivalence: the service must be bit-identical to one-shot.
+
+``PredictionService.predict_many`` takes fast paths the per-call
+predictor does not — cached platform plans, a vectorized uniform-burst
+evaluation, the prediction LRU — and every one of them must be
+invisible: for each registered platform, the batched answer equals
+:func:`repro.core.predictor.predict_sizes` float for float
+(``np.array_equal``, no tolerance).  Likewise ``lookup_many`` must
+return exactly what :meth:`ResultStore.get_for` returns."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.cases import CASE_REGISTRY, cases_on_machines
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultStore
+from repro.campaign.sweep import sweep_cases
+from repro.core.interpolation import GrowthTable
+from repro.core.predictor import burst_series, predict_sizes
+from repro.core.regression import CaseFeatures, fit_linear_model
+from repro.platform import available_platforms, get_platform
+from repro.service import PredictionService, PredictRequest
+from repro.service.plans import PlatformPlan
+
+SCENARIOS = ("case4", "case27", "large")
+
+
+def reference(req: PredictRequest, **calibrations):
+    """The one-shot answer the service must reproduce exactly."""
+    inputs, nprocs, machine = req.resolve()
+    return predict_sizes(inputs, nprocs, f=req.f, platform=machine,
+                         **calibrations)
+
+
+def assert_identical(got, ref):
+    assert np.array_equal(got.step_bytes, ref.step_bytes)
+    assert np.array_equal(got.cumulative_bytes, ref.cumulative_bytes)
+    assert np.array_equal(got.burst_seconds, ref.burst_seconds)
+    assert got.growth == ref.growth
+    assert got.growth_source == ref.growth_source
+    assert got.machine == ref.machine
+    assert got.nprocs == ref.nprocs and got.f == ref.f
+
+
+@pytest.mark.parametrize("machine", available_platforms())
+class TestEveryPlatform:
+    def test_predict_many_bit_identical(self, machine):
+        service = PredictionService()
+        reqs = [PredictRequest(scenario=s, machine=machine, steps=steps)
+                for s in SCENARIOS for steps in (None, 40)]
+        responses = service.predict_many(reqs)
+        assert all(r.ok for r in responses)
+        for req, resp in zip(reqs, responses):
+            assert_identical(resp.prediction, reference(req))
+
+    def test_warm_cache_returns_the_same_object(self, machine):
+        """A cache hit is the same prediction, not a recomputation."""
+        service = PredictionService()
+        req = PredictRequest(machine=machine, nprocs=16, steps=30)
+        cold = service.predict_one(req)
+        warm = service.predict_one(req)
+        assert warm.cached and warm.prediction is cold.prediction
+
+    def test_plan_burst_series_matches_per_dump_loop(self, machine):
+        """The uniform fast path (or its fallback) equals looping
+        ``storage.burst_time`` dump by dump — the exact seed-path op."""
+        nprocs = 96
+        plan = PlatformPlan(machine, nprocs)
+        steps = np.asarray([0, 1, 10_000, 123_456_789, 2**40], dtype=np.float64)
+        expected = burst_series(plan.storage, steps, nprocs, plan.node_map)
+        assert np.array_equal(plan.burst_series(steps), expected)
+
+
+class TestCalibrations:
+    """Growth resolution order parity: table, regression, guidance."""
+
+    def _table(self):
+        table = GrowthTable()
+        table.add(0.3, 3, 1.10)
+        table.add(0.7, 3, 1.22)
+        return table
+
+    def test_growth_table_parity(self):
+        table = self._table()
+        service = PredictionService(growth_table=table)
+        req = PredictRequest(nprocs=32, steps=40)
+        resp = service.predict_one(req)
+        ref = reference(req, growth_table=table)
+        assert resp.prediction.growth_source == "table"
+        assert_identical(resp.prediction, ref)
+
+    def test_regression_parity(self):
+        features = [CaseFeatures(cfl, maxl, 512 * 512, 32)
+                    for cfl in (0.3, 0.5, 0.7) for maxl in (1, 3)]
+        targets = [1.05, 1.08, 1.10, 1.14, 1.16, 1.20]
+        model = fit_linear_model(features, targets)
+        service = PredictionService(regression=model)
+        req = PredictRequest(nprocs=32, steps=40)
+        resp = service.predict_one(req)
+        ref = reference(req, regression=model)
+        assert resp.prediction.growth_source == "regression"
+        assert_identical(resp.prediction, ref)
+
+    def test_guidance_fallback_parity(self):
+        req = PredictRequest(scenario="case27", steps=25)
+        resp = PredictionService().predict_one(req)
+        ref = reference(req)
+        assert resp.prediction.growth_source == "guidance"
+        assert_identical(resp.prediction, ref)
+
+    def test_empty_table_falls_through_like_predict_sizes(self):
+        table = GrowthTable()  # len 0: predict_sizes ignores it too
+        req = PredictRequest(nprocs=8, steps=20)
+        resp = PredictionService(growth_table=table).predict_one(req)
+        assert resp.prediction.growth_source == "guidance"
+        assert_identical(resp.prediction, reference(req))
+
+
+class TestMixedMachineBatches:
+    def test_elementwise_matches_per_machine_scalar_calls(self):
+        """One interleaved batch over every machine == the per-machine
+        scalar answers, element for element (satellite #3)."""
+        machines = available_platforms()
+        reqs = [PredictRequest(scenario=s, machine=m, nprocs=n, steps=30)
+                for s in ("case4", "case27")
+                for m in machines
+                for n in (8, 64)]
+        rng = np.random.default_rng(7)
+        order = rng.permutation(len(reqs))
+        batch = [reqs[i] for i in order]
+        responses = PredictionService().predict_many(batch)
+        assert all(r.ok for r in responses)
+        for req, resp in zip(batch, responses):
+            assert_identical(resp.prediction, reference(req))
+            assert resp.prediction.machine == get_platform(req.machine).name
+
+
+class TestLookupEquivalence:
+    def test_lookup_many_matches_store_get_for(self):
+        machines = available_platforms()
+        store = ResultStore()
+        base = CASE_REGISTRY["case4"]
+        cases = cases_on_machines([base.with_cfl(0.3), base.with_cfl(0.6)],
+                                  machines)
+        run_campaign(cases, store=store)
+        service = PredictionService(store=store)
+        responses = service.lookup_many(cases)
+        assert all(r.ok and r.hit for r in responses)
+        for case, resp in zip(cases, responses):
+            assert resp.record == store.get_for(case)
+
+    def test_lookup_respects_extra_execution_options(self):
+        store = ResultStore()
+        case = sweep_cases(mesh_ladder=[(64, 2, 1)], cfls=(0.4,),
+                           max_levels=(1,), max_step=20, plot_int=10)[0]
+        extra = {"distribution_strategy": "round_robin"}
+        result = run_campaign([case], store=store,
+                              distribution_strategy="round_robin")
+        assert not result.failures
+        service = PredictionService(store=store)
+        assert service.lookup_many([case], extra=extra)[0].hit
+        # extra is part of the key, exactly as in store.get_for
+        assert service.lookup_many([case])[0].hit == (
+            store.get_for(case) is not None)
+
+    def test_memoized_digest_equals_direct_key(self):
+        store = ResultStore()
+        case = CASE_REGISTRY["case4"]
+        service = PredictionService(store=store)
+        run_campaign([case], store=store)
+        service.lookup_many([case])
+        service.lookup_many([case])  # second pass goes through the memo
+        assert service.lookup_many([case])[0].record == store.get_for(case)

@@ -10,6 +10,13 @@ a bench declares via a literal ``emit("name", ...)`` call (plus the
 that stops emitting, a JSON artifact that stops parsing — without the
 full bench cost.
 
+Smoke runs write their JSON artifacts to ``BENCH_*_smoke.json`` (the
+``bench_json`` fixture), so the checked-in full-size ``BENCH_*.json``
+files — whose speedup floors only hold at full size — are never
+clobbered by a tiny-size run.  This script enforces both sides: the
+``_smoke`` variant must be fresh, and the full-size artifact must still
+exist untouched.
+
 Run via ``make bench-smoke`` or::
 
     PYTHONPATH=src python tools/bench_smoke.py
@@ -40,7 +47,18 @@ REQUIRED_JSON = {
     "BENCH_solver.json",
     "BENCH_dump.json",
     "BENCH_platforms.json",
+    "BENCH_service.json",
 }
+
+
+def smoke_name(artifact: str) -> str:
+    """The path a smoke run actually writes: ``BENCH_*_smoke.json`` for
+    JSON artifacts (kept in lockstep with ``conftest.smoke_artifact_path``),
+    the artifact itself otherwise."""
+    if artifact.endswith(".json"):
+        root, ext = os.path.splitext(artifact)
+        return root + "_smoke" + ext
+    return artifact
 
 
 def expected_artifacts() -> Dict[str, List[str]]:
@@ -85,18 +103,30 @@ def main() -> int:
         if not artifacts:
             errors.append(f"{bench}: declares no emit(...) artifact")
         for artifact in artifacts:
-            path = os.path.join(OUTPUT_DIR, artifact)
+            written = smoke_name(artifact)
+            path = os.path.join(OUTPUT_DIR, written)
             if not os.path.exists(path):
-                errors.append(f"{bench}: artifact {artifact} missing")
+                errors.append(f"{bench}: artifact {written} missing")
                 continue
             if os.path.getmtime(path) < start:
-                errors.append(f"{bench}: artifact {artifact} not rewritten by this run")
-            elif artifact.endswith(".json"):
+                errors.append(f"{bench}: artifact {written} not rewritten by this run")
+            elif written.endswith(".json"):
                 try:
                     with open(path, encoding="utf-8") as fh:
                         json.load(fh)
                 except ValueError as exc:
-                    errors.append(f"{bench}: artifact {artifact} is not valid JSON: {exc}")
+                    errors.append(f"{bench}: artifact {written} is not valid JSON: {exc}")
+            if written == artifact:
+                continue
+            # the full-size artifact must survive the smoke run untouched
+            full = os.path.join(OUTPUT_DIR, artifact)
+            if not os.path.exists(full):
+                errors.append(
+                    f"{bench}: full-size artifact {artifact} missing "
+                    f"(run the full bench to regenerate it)")
+            elif os.path.getmtime(full) >= start:
+                errors.append(
+                    f"{bench}: smoke run overwrote full-size artifact {artifact}")
     if errors:
         for err in errors:
             print(f"bench-smoke: {err}", file=sys.stderr)

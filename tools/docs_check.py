@@ -37,6 +37,7 @@ PROGS = {
     "repro-macsio": ("repro.cli", "macsio_main"),
     "repro-model": ("repro.cli", "model_main"),
     "repro-campaign": ("repro.cli", "campaign_main"),
+    "repro-serve": ("repro.cli", "serve_main"),
 }
 _FUNC_TO_PROG = {func: prog for prog, (_, func) in PROGS.items()}
 
