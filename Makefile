@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-service bench bench-smoke bench-solver bench-dump bench-platforms bench-service docs-check ci all
+.PHONY: test test-service bench bench-smoke bench-solver bench-dump bench-platforms bench-service lint docs-check ci all
 
 all: test docs-check
 
@@ -49,8 +49,13 @@ bench-service:
 bench-smoke:
 	$(PYTHON) tools/bench_smoke.py
 
-docs-check:
-	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md docs/PLATFORMS.md docs/SERVICE.md
+# repro-lint: the project's AST invariant checker (rule catalog in
+# docs/LINT.md).  Exits nonzero on any unsuppressed finding.
+lint:
+	$(PYTHON) -m tools.lint src tests benchmarks tools
 
-# The one-stop regression gate: tests + docs + bench harness.
-ci: test docs-check bench-smoke
+docs-check:
+	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md docs/PLATFORMS.md docs/SERVICE.md docs/LINT.md
+
+# The one-stop regression gate: tests + lint + docs + bench harness.
+ci: test lint docs-check bench-smoke

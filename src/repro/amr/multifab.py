@@ -22,6 +22,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from .. import sanitize
 from .box import Box
 from .boxarray import BoxArray
 from .distribution import DistributionMapping
@@ -93,6 +94,8 @@ class MultiFab:
         self.fabs: List[Fab] = [Fab(b, ncomp, nghost, dtype) for b in ba]
         self._exchange_plan: Optional[List[Tuple[int, int, tuple, tuple]]] = None
         self._exchange_key: Optional[Tuple[int, int]] = None
+        self._exchange_bounds: Optional[np.ndarray] = None
+        self._exchange_crc: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.fabs)
@@ -107,6 +110,7 @@ class MultiFab:
     # setters / math
     # ------------------------------------------------------------------
     def set_val(self, value: float, comp: Optional[int] = None) -> None:
+        # lint: allow-loop(init-path setter, not per-step; fabs are ragged)
         for fab in self.fabs:
             if comp is None:
                 fab.data[...] = value
@@ -117,6 +121,7 @@ class MultiFab:
         self, fn: Callable[[np.ndarray, np.ndarray], np.ndarray], comp: int, geom
     ) -> None:
         """Set component ``comp`` from ``fn(X, Y)`` at valid cell centers."""
+        # lint: allow-loop(initial-condition fill, once per run; ragged shapes)
         for fab in self.fabs:
             X, Y = geom.cell_centers(fab.box)
             fab.interior(comp)[...] = fn(X, Y)
@@ -173,12 +178,30 @@ class MultiFab:
         if self._exchange_plan is None or self._exchange_key != key:
             self._exchange_plan = self._build_exchange_plan()
             self._exchange_key = key
+            self._exchange_bounds = _plan_bounds(self._exchange_plan)
+            self._exchange_crc = (
+                sanitize.checksum(self._exchange_plan)
+                if sanitize.enabled() else None
+            )
         return self._exchange_plan
+
+    def exchange_bounds(self) -> np.ndarray:
+        """Read-only ``(npairs, 10)`` int64 columnar view of the plan.
+
+        Columns: ``src, dst, src x0, x1, y0, y1, dst x0, x1, y0, y1``
+        (stop-exclusive, grown-box local).  Frozen at build so analysis
+        consumers cannot corrupt the cached plan through it.
+        """
+        self.exchange_plan()
+        assert self._exchange_bounds is not None
+        return self._exchange_bounds
 
     def invalidate_exchange_plan(self) -> None:
         """Drop the cached plan (next ``fill_boundary`` rebuilds it)."""
         self._exchange_plan = None
         self._exchange_key = None
+        self._exchange_bounds = None
+        self._exchange_crc = None
 
     def fill_boundary(self) -> None:
         """Copy valid data into overlapping ghost regions of sibling fabs.
@@ -186,11 +209,26 @@ class MultiFab:
         Replays the cached exchange plan: one fancy-slice assignment
         per overlapping fab pair, all components at once.  Bit-identical
         to the seed's per-destination, per-component intersection loop.
+        Under ``REPRO_SANITIZE=1`` the plan is checksummed before replay
+        and any drift since the build raises
+        :class:`~repro.sanitize.SanitizeError`.
         """
         if self.nghost == 0:
             return
+        plan = self.exchange_plan()
+        if sanitize.enabled():
+            crc = sanitize.checksum(plan)
+            if self._exchange_crc is None:
+                self._exchange_crc = crc
+            else:
+                sanitize.check(
+                    crc == self._exchange_crc,
+                    "ghost-exchange plan drifted since it was built "
+                    f"(key={self._exchange_key}); a consumer mutated the "
+                    "cached plan list",
+                )
         fabs = self.fabs
-        for si, di, src_sl, dst_sl in self.exchange_plan():
+        for si, di, src_sl, dst_sl in plan:
             fabs[di].data[dst_sl] = fabs[si].data[src_sl]
 
     # ------------------------------------------------------------------
@@ -246,6 +284,19 @@ def regrid_multifab(
         src_sl = all_comps + _overlap_slices(o_lo, o_hi, old_lo[si] - g)
         new.fabs[di].data[dst_sl] = old.fabs[si].data[src_sl]
     return new
+
+
+def _plan_bounds(plan: List[Tuple[int, int, tuple, tuple]]) -> np.ndarray:
+    """Frozen columnar form of an exchange plan (see ``exchange_bounds``)."""
+    rows = np.empty((len(plan), 10), dtype=np.int64)
+    for k, (si, di, src_sl, dst_sl) in enumerate(plan):
+        rows[k, 0] = si
+        rows[k, 1] = di
+        rows[k, 2:6] = (src_sl[1].start, src_sl[1].stop,
+                        src_sl[2].start, src_sl[2].stop)
+        rows[k, 6:10] = (dst_sl[1].start, dst_sl[1].stop,
+                         dst_sl[2].start, dst_sl[2].stop)
+    return sanitize.frozen(rows)
 
 
 def _corner_arrays(ba: BoxArray) -> Tuple[np.ndarray, np.ndarray]:

@@ -190,7 +190,7 @@ def classify_linearity(x: Sequence[float], y: Sequence[float], tol: float = 0.02
     xv = np.asarray(x, dtype=np.float64)
     yv = np.asarray(y, dtype=np.float64)
     if xv.shape != yv.shape or xv.size < 3:
-        raise ValueError("need >= 3 paired points")
+        raise ValueError("x and y must be equal-length with >= 3 paired points")
     denom = float(xv @ xv)
     if denom == 0:
         raise ValueError("degenerate x values")

@@ -137,6 +137,9 @@ def _execute_case(case: Case, kwargs: Dict,
             f"case {case.name!r} timed out after {timeout}s",
             time.perf_counter() - t0,
         )
+    except (KeyboardInterrupt, SystemExit):
+        # never swallow a shutdown request into an "err" record
+        raise
     except Exception:
         return ("err", traceback.format_exc(), time.perf_counter() - t0)
 
@@ -270,6 +273,8 @@ class CampaignExecutor:
         if status == "ok" and self.store is not None and key is not None:
             try:
                 self.store.put(key, payload, dt)
+            except (KeyboardInterrupt, SystemExit):
+                raise
             except Exception:
                 print(f"warning: could not persist {case.name!r}:\n"
                       f"{traceback.format_exc()}", file=sys.stderr)
@@ -331,6 +336,9 @@ class CampaignExecutor:
             for case in pending:
                 try:
                     status, payload, dt = futures[case.name].result()
+                except (KeyboardInterrupt, SystemExit):
+                    # ctrl-C lands in the finally: shutdown below
+                    raise
                 except Exception:
                     status, payload, dt = ("err", traceback.format_exc(), 0.0)
                     # the done-callback skips dead futures (cancelled /

@@ -107,6 +107,7 @@ def record_from_result(
 
 
 def save_records(records: List[RunRecord], path: str) -> None:
+    """Write ``records`` to ``path`` as a JSON array (load_records inverse)."""
     payload = [asdict(r) for r in records]
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1)
@@ -125,6 +126,7 @@ def record_from_dict(payload: Dict) -> RunRecord:
 
 
 def load_records(path: str) -> List[RunRecord]:
+    """Read a JSON array of run records from ``path`` (save_records inverse)."""
     with open(path, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
     return [record_from_dict(item) for item in payload]

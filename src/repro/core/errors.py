@@ -37,10 +37,12 @@ def relative_errors(model: Sequence[float], observed: Sequence[float]) -> np.nda
 
 
 def max_relative_error(model: Sequence[float], observed: Sequence[float]) -> float:
+    """Worst-case per-point relative error of ``model`` vs ``observed``."""
     return float(relative_errors(model, observed).max())
 
 
 def mean_relative_error(model: Sequence[float], observed: Sequence[float]) -> float:
+    """Mean per-point relative error of ``model`` vs ``observed``."""
     return float(relative_errors(model, observed).mean())
 
 

@@ -27,9 +27,9 @@ def part_size_model(f: float, nx: int, ny: int, nprocs: int) -> float:
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
     if nx < 1 or ny < 1:
-        raise ValueError("mesh dimensions must be positive")
+        raise ValueError(f"mesh dimensions must be positive (nx={nx}, ny={ny})")
     if f <= 0:
-        raise ValueError("correction factor must be positive")
+        raise ValueError(f"correction factor f must be positive (got {f})")
     return f * 8.0 * nx * ny / nprocs
 
 

@@ -52,7 +52,7 @@ class ProxyModel:
 
     def __post_init__(self) -> None:
         if self.f <= 0:
-            raise ValueError("correction factor must be positive")
+            raise ValueError(f"correction factor f must be positive (got {self.f})")
         if self.dataset_growth <= 0:
             raise ValueError("dataset_growth must be positive")
 

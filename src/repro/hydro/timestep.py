@@ -43,7 +43,7 @@ def cfl_timestep(W: np.ndarray, dx: float, dy: float, cfl: float, eos: GammaLawE
     """
     smax = max_signal_speed(W, dx, dy, eos)
     if smax <= 0.0:
-        raise ValueError("wave speeds vanished; cannot compute a CFL step")
+        raise ValueError(f"signal speed smax={smax}; cannot compute a CFL step")
     return cfl / smax
 
 

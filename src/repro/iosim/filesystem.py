@@ -185,7 +185,7 @@ class VirtualFileSystem(FileSystem):
     def write_size(self, path: str, nbytes: int) -> int:
         nbytes = int(nbytes)
         if nbytes < 0:
-            raise ValueError("file size cannot be negative")
+            raise ValueError(f"file size nbytes must be >= 0 (got {nbytes})")
         path = _normalize(path)
         self._record(path, nbytes)
         if self._content is not None:
@@ -210,7 +210,7 @@ class VirtualFileSystem(FileSystem):
         for p, n in zip(paths, sizes):
             n = int(n)
             if n < 0:
-                raise ValueError("file size cannot be negative")
+                raise ValueError(f"file size must be >= 0 (got sizes entry {n})")
             p = _normalize(p)
             by_parent.setdefault(_parent(p), []).append((p, n))
             total += n
@@ -340,7 +340,7 @@ class RealFileSystem(FileSystem):
     def write_size(self, path: str, nbytes: int) -> int:
         """Materialize as a sparse-ish zero file (truncate to size)."""
         if nbytes < 0:
-            raise ValueError("file size cannot be negative")
+            raise ValueError(f"file size nbytes must be >= 0 (got {nbytes})")
         full = self._full(path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
         with open(full, "wb") as fh:
@@ -363,7 +363,7 @@ class RealFileSystem(FileSystem):
         for p, n in zip(paths, sizes):
             n = int(n)
             if n < 0:
-                raise ValueError("file size cannot be negative")
+                raise ValueError(f"file size must be >= 0 (got sizes entry {n})")
             full = self._full(p)
             d = os.path.dirname(full)
             if d not in made:

@@ -84,5 +84,7 @@ def optimal_check_interval(
     ``amr.check_int`` once the proxy has estimated ``C``.
     """
     if checkpoint_write_seconds <= 0 or mtbf_seconds <= 0:
-        raise ValueError("costs and MTBF must be positive")
+        raise ValueError(
+            "checkpoint_write_seconds and mtbf_seconds must be positive"
+        )
     return float(np.sqrt(2.0 * checkpoint_write_seconds * mtbf_seconds))

@@ -36,10 +36,12 @@ PART_STRUCTURE_OVERHEAD = 256
 
 
 def data_filename(task: int, dump: int, prefix: str = "macsio_json") -> str:
+    """MACSio MIF per-task data file name for ``(task, dump)``."""
     return f"{prefix}_{task:05d}_{dump:03d}.json"
 
 
 def root_filename(dump: int, prefix: str = "macsio_json") -> str:
+    """MACSio MIF per-dump root (metadata) file name."""
     return f"{prefix}_root_{dump:03d}.json"
 
 

@@ -23,7 +23,7 @@ def parse_size(text: str) -> float:
     """Parse ``"80000"``, ``"2M"``, ``"1.5G"`` into bytes (float)."""
     text = text.strip()
     if not text:
-        raise ValueError("empty size string")
+        raise ValueError("size text is empty; expected e.g. '80000', '2M', '1.5G'")
     suffix = text[-1].upper()
     if suffix in _SUFFIXES:
         return float(text[:-1]) * _SUFFIXES[suffix]

@@ -68,7 +68,7 @@ class SimComm:
         if arr.shape != (self._size,):
             raise ValueError(f"expected {self._size} per-rank durations")
         if (arr < 0).any():
-            raise ValueError("cannot advance clocks by negative time")
+            raise ValueError("seconds_per_rank entries must be non-negative")
         self._clock += arr
 
     def barrier(self) -> float:

@@ -115,7 +115,7 @@ def build_cellh_arrays(
     # min/max section even in data mode.
     if n and (mins is not None or maxs is not None):
         if mins is None or maxs is None or len(mins) != n or len(maxs) != n:
-            raise ValueError("minmax table length must match box count")
+            raise ValueError(f"mins/maxs length must match box count n={n}")
         lines.append("")
         lines.append(f"{n},{ncomp}")
         lines.extend(

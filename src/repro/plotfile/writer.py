@@ -38,6 +38,8 @@ from ..amr.multifab import MultiFab
 from ..hydro.eos import GammaLawEOS
 from ..iosim.darshan import IOTrace
 from ..iosim.filesystem import FileSystem
+from .. import sanitize
+from ..sanitize import frozen
 from .cellh import build_cellh_arrays
 from .derive import derive_fields_flat
 from .fab import fab_header, fab_nbytes_array
@@ -102,14 +104,14 @@ class _LevelPlan:
         n = len(ba)
         ranks_arr = np.fromiter(dm.ranks, dtype=np.int64, count=n)
         los, his = ba.corners()
-        self.nbytes = fab_nbytes_array(los, his, ba.box_sizes(), nvars)
+        self.nbytes = frozen(fab_nbytes_array(los, his, ba.box_sizes(), nvars))
         if n == 0:
-            self.ranks = np.empty(0, dtype=np.int64)
+            self.ranks = frozen(np.empty(0, dtype=np.int64))
             self.fnames: List[str] = []
-            self.sizes = np.empty(0, dtype=np.int64)
-            self.offsets = np.empty(0, dtype=np.int64)
-            self.order = np.empty(0, dtype=np.int64)
-            self.bounds = np.zeros(1, dtype=np.int64)
+            self.sizes = frozen(np.empty(0, dtype=np.int64))
+            self.offsets = frozen(np.empty(0, dtype=np.int64))
+            self.order = frozen(np.empty(0, dtype=np.int64))
+            self.bounds = frozen(np.zeros(1, dtype=np.int64))
             self.fname_of_box: List[str] = []
         else:
             # Stable sort by owner: boxes stay in index order within each
@@ -118,15 +120,15 @@ class _LevelPlan:
             bsort = self.nbytes[order]
             starts = np.cumsum(bsort) - bsort
             uniq, first = np.unique(ranks_arr[order], return_index=True)
-            self.ranks = uniq
-            self.sizes = np.add.reduceat(bsort, first)
-            self.order = order
-            self.bounds = np.append(first, n).astype(np.int64)
+            self.ranks = frozen(uniq)
+            self.sizes = frozen(np.add.reduceat(bsort, first))
+            self.order = frozen(order)
+            self.bounds = frozen(np.append(first, n).astype(np.int64))
             counts = np.diff(self.bounds)
             rel = starts - np.repeat(starts[first], counts)
             offsets = np.empty(n, dtype=np.int64)
             offsets[order] = rel
-            self.offsets = offsets
+            self.offsets = frozen(offsets)
             self.fnames = [f"Cell_D_{int(r):05d}" for r in uniq]
             which = np.searchsorted(uniq, ranks_arr)
             self.fname_of_box = [self.fnames[i] for i in which.tolist()]
@@ -151,12 +153,22 @@ class _LevelPlan:
 
 
 _PLAN_CACHE: Dict[Tuple[int, Tuple[int, ...], int], _LevelPlan] = {}
+_PLAN_CRC: Dict[Tuple[int, Tuple[int, ...], int], int] = {}
 _PLAN_CACHE_MAX = 256
 
 
 def clear_plan_cache() -> None:
     """Drop all cached level plans (tests / memory pressure)."""
     _PLAN_CACHE.clear()
+    _PLAN_CRC.clear()
+
+
+def _plan_fingerprint(plan: _LevelPlan) -> int:
+    """Sanitizer checksum over the replayed parts of a level plan."""
+    return sanitize.checksum((
+        plan.nbytes, plan.ranks, plan.sizes, plan.offsets,
+        plan.order, plan.bounds, plan.fnames, plan.fname_of_box,
+    ))
 
 
 def _level_plan(ba: BoxArray, dm: DistributionMapping, nvars: int) -> _LevelPlan:
@@ -165,7 +177,17 @@ def _level_plan(ba: BoxArray, dm: DistributionMapping, nvars: int) -> _LevelPlan
     if plan is None:
         if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
             _PLAN_CACHE.clear()
+            _PLAN_CRC.clear()
         plan = _PLAN_CACHE[key] = _LevelPlan(ba, dm, nvars)
+        if sanitize.enabled():
+            _PLAN_CRC[key] = _plan_fingerprint(plan)
+    elif sanitize.enabled():
+        want = _PLAN_CRC.setdefault(key, _plan_fingerprint(plan))
+        sanitize.check(
+            _plan_fingerprint(plan) == want,
+            f"cached level plan for key {key} drifted since it was built "
+            "(a consumer mutated a plan buffer)",
+        )
     return plan
 
 

@@ -223,6 +223,7 @@ class PredictionService:
                     case.machine, extra_token)
         digest = self._keys.get(memo_key)
         if digest is None:
+            # lint: allow-cache-key(store identity is constant for the memo's lifetime — attach_store() clears it)
             digest = self.store.key_for(case, extra)
             self._keys.put(memo_key, digest)
         return digest

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Hashable, Iterator, Optional
 
+from .. import sanitize
+
 __all__ = ["LRUCache"]
 
 
@@ -60,11 +62,25 @@ class LRUCache:
         return self._data.get(key, default)
 
     def put(self, key: Hashable, value) -> None:
+        """Insert/overwrite ``key`` and evict down to the bound.
+
+        Under ``REPRO_SANITIZE=1`` every ndarray reachable from ``value``
+        is made read-only at insert (aliasing writes fault at the write
+        site) and the size bound is asserted after eviction.
+        """
+        if sanitize.enabled():
+            sanitize.freeze_payload(value)
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
             self.evictions += 1
+        if sanitize.enabled():
+            sanitize.check(
+                len(self._data) <= self.maxsize,
+                f"LRU size {len(self._data)} exceeds maxsize {self.maxsize} "
+                "after eviction",
+            )
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it existed."""

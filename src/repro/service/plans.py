@@ -32,6 +32,7 @@ import numpy as np
 from ..core.predictor import burst_series
 from ..iosim.storage import LustreStorageModel, StorageModel
 from ..platform import Platform, get_platform
+from ..sanitize import frozen
 
 __all__ = ["PlatformPlan"]
 
@@ -54,7 +55,9 @@ class PlatformPlan:
         # compare apples to apples
         self.storage: StorageModel = self.platform.storage_model(variability=0.0)
         self.topology = self.platform.default_topology(nprocs)
-        self.node_map: np.ndarray = self.topology.node_map()
+        # Frozen at build: plans are LRU-cached and shared across requests,
+        # so an aliasing write through a consumer must fault, not corrupt.
+        self.node_map: np.ndarray = frozen(self.topology.node_map())
         self._uniform_bw_min: Optional[float] = None
         if type(self.storage) in _UNIFORM_SAFE_MODELS:
             self._uniform_bw_min = self._probe_uniform_bandwidth()

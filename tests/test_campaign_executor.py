@@ -225,3 +225,40 @@ class TestScheduling:
         ordered = order_by_cost(cases)
         assert [estimated_cost(c) for c in ordered] == sorted(costs, reverse=True)
         assert sorted(c.name for c in ordered) == sorted(c.name for c in cases)
+
+
+class TestFailureRecords:
+    """Satellite: broad excepts must re-record the full traceback and
+    let shutdown exceptions (KeyboardInterrupt/SystemExit) through."""
+
+    def test_failure_records_carry_the_full_traceback(self):
+        cases = small_sweep(1)
+        for jobs in (1, 2):
+            campaign = run_campaign(
+                cases, jobs=jobs, distribution_strategy="bogus"
+            )
+            err = campaign.failures[cases[0].name]
+            assert "Traceback (most recent call last)" in err
+            assert "ValueError" in err
+
+    def test_keyboard_interrupt_propagates_from_the_worker(self, monkeypatch):
+        from repro.campaign import runner
+        from repro.campaign.executor import _execute_case
+
+        def boom(case, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner, "run_case", boom)
+        with pytest.raises(KeyboardInterrupt):
+            _execute_case(small_sweep(1)[0], {})
+
+    def test_system_exit_propagates_from_the_worker(self, monkeypatch):
+        from repro.campaign import runner
+        from repro.campaign.executor import _execute_case
+
+        def bail(case, **kwargs):
+            raise SystemExit(3)
+
+        monkeypatch.setattr(runner, "run_case", bail)
+        with pytest.raises(SystemExit):
+            _execute_case(small_sweep(1)[0], {})

@@ -205,3 +205,37 @@ class TestCrossMachineIsolation:
         service converts that into a per-request error upstream."""
         with pytest.raises(UnknownMachineError):
             CASE_REGISTRY["case4"].on_machine("neptune")
+
+
+class TestErrorClassNames:
+    """Satellite: every per-request error names the exception class, so
+    clients dispatch on the failure kind without parsing prose."""
+
+    def test_wire_errors_prefix_the_exception_class(self):
+        service = PredictionService()
+        lines = [
+            "not json",
+            "[1, 2, 3]",
+            '{"machine": "neptune", "nprocs": 8, "steps": 10}',
+            '{"scenario": "no-such-case"}',
+        ]
+        responses, report = serve_lines(service, lines)
+        assert report.n_errors == len(lines)
+        assert responses[0]["error"].startswith("JSONDecodeError: ")
+        assert responses[1]["error"].startswith("ValueError: ")
+        assert responses[2]["error"].startswith("UnknownMachineError: ")
+        assert responses[3]["error"].startswith("ValueError: ")
+        for resp in responses:
+            head = resp["error"].split(":", 1)[0]
+            assert head.isidentifier(), resp["error"]
+
+    def test_batch_api_errors_carry_class_names_too(self):
+        service = PredictionService(store=ResultStore())
+        predict = service.predict_one(
+            PredictRequest(machine="neptune", nprocs=8, steps=10)
+        )
+        assert not predict.ok
+        assert predict.error.startswith("UnknownMachineError: ")
+        lookup = service.lookup_many([LookupRequest("no-such-case")])[0]
+        assert not lookup.ok
+        assert lookup.error.startswith("ValueError: ")

@@ -1,0 +1,5 @@
+"""Developer tooling (not shipped with the ``repro`` package).
+
+``tools.lint`` is the project's static analyzer (``python -m tools.lint``);
+``bench_smoke.py`` and ``docs_check.py`` are standalone CI scripts.
+"""

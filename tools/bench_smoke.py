@@ -3,7 +3,9 @@
 
 Runs the full ``benchmarks/bench_*.py`` suite with ``REPRO_BENCH_SMOKE=1``
 (the expensive benches shrink to harness checks — see the ``smoke``
-fixture in ``benchmarks/conftest.py``), then asserts that every artifact
+fixture in ``benchmarks/conftest.py``) and ``REPRO_SANITIZE=1`` (the
+runtime sanitizer of ``repro.sanitize`` soaks the cache/plan paths with
+frozen buffers and checksummed replays), then asserts that every artifact
 a bench declares via a literal ``emit("name", ...)`` call (plus the
 ``BENCH_*.json`` timing artifacts) was freshly written to
 ``benchmarks/output/``.  Catches bench-harness regressions — a bench
@@ -85,7 +87,10 @@ def main() -> int:
                   file=sys.stderr)
         return 1
     start = time.time()
-    env = dict(os.environ, REPRO_BENCH_SMOKE="1")
+    # REPRO_SANITIZE: the smoke pass doubles as a sanitizer soak — every
+    # bench's cache/plan traffic runs with frozen buffers and checksummed
+    # replays (full-size runs stay unsanitized so timings are honest).
+    env = dict(os.environ, REPRO_BENCH_SMOKE="1", REPRO_SANITIZE="1")
     env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )

@@ -1,0 +1,35 @@
+"""repro-lint: project-specific static analysis for the repro codebase.
+
+Run as ``python -m tools.lint src tests benchmarks`` (or ``make lint``).
+The rule catalog lives in :mod:`tools.lint.rules` and is documented in
+``docs/LINT.md``; the AST framework and suppression syntax live in
+:mod:`tools.lint.framework`.  Programmatic use::
+
+    from tools.lint import ALL_RULES, lint_paths
+    report = lint_paths(["src"], ALL_RULES, root="/path/to/repo")
+    assert report.ok, [f.render() for f in report.active]
+"""
+
+from .framework import (
+    Finding,
+    LintReport,
+    ParsedModule,
+    Rule,
+    Suppression,
+    collect_files,
+    lint_paths,
+    parse_suppressions,
+)
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "ParsedModule",
+    "Rule",
+    "Suppression",
+    "collect_files",
+    "lint_paths",
+    "parse_suppressions",
+]

@@ -1,0 +1,83 @@
+"""CLI driver: ``python -m tools.lint [paths...]``.
+
+Exit status 0 when every finding is suppressed (with a reason) or no
+finding exists; 1 otherwise.  ``--show-suppressed`` lists reasoned
+suppressions, ``--select`` narrows to a rule subset, ``--list-rules``
+prints the catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .framework import lint_paths
+from .rules import ALL_RULES
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, os.pardir))
+DEFAULT_PATHS = ["src", "tests", "benchmarks", "tools", "examples"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="repro-lint: AST invariant checker for the repro codebase",
+    )
+    parser.add_argument("paths", nargs="*", default=DEFAULT_PATHS,
+                        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run (e.g. RL001,RL005)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also list suppressed findings with their reasons")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="per-file progress plus unused-suppression warnings")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  allow-{rule.slug:<18} {rule.title}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {r.strip() for r in args.select.split(",") if r.strip()}
+        known = {r.id for r in ALL_RULES}
+        unknown = select - known
+        if unknown:
+            print(f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    report = lint_paths(args.paths, ALL_RULES, root=ROOT, select=select)
+
+    for err in report.parse_errors:
+        print(f"repro-lint: parse error: {err}", file=sys.stderr)
+    for f in report.active:
+        print(f.render(), file=sys.stderr)
+    if args.show_suppressed:
+        for f in report.suppressed:
+            print(f.render())
+    if args.verbose:
+        for warning in report.unused_suppressions:
+            print(f"repro-lint: warning: {warning}", file=sys.stderr)
+
+    n_active = len(report.active)
+    n_sup = len(report.suppressed)
+    if report.ok:
+        print(f"repro-lint OK ({report.n_files} files, 0 findings, "
+              f"{n_sup} suppressed)")
+        return 0
+    print(
+        f"repro-lint: {n_active} finding(s), {n_sup} suppressed, "
+        f"{len(report.parse_errors)} parse error(s) across {report.n_files} files",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,326 @@
+"""repro-lint framework: file walking, suppressions, reporting.
+
+A *rule* is a class with an ``id`` (``RL001``...), a ``slug`` (the name
+used by ``# lint: allow-<slug>(reason)`` comments), a path ``applies``
+predicate, and a ``check`` method yielding :class:`Finding` objects for
+one parsed module.  The framework owns everything else: collecting the
+Python files under the given paths, parsing them once, matching findings
+against suppression comments, and rendering the report.
+
+Suppression syntax (reasons are mandatory — a suppression without one is
+itself reported):
+
+``# lint: allow-<slug>(<reason>)``
+    Suppress one rule, by slug, on this line (or, as a standalone
+    comment, on the line directly below).
+
+``# lint: disable=RL001,RL002 (<reason>)``
+    Same, by rule id(s).
+
+``# lint: skip-file(<reason>)``
+    Suppress every finding in the file (generated/corpus files).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "Rule",
+    "Suppression",
+    "LintReport",
+    "collect_files",
+    "lint_paths",
+    "parse_suppressions",
+]
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: Optional[str] = None
+
+    def render(self) -> str:
+        mark = " (suppressed: %s)" % self.suppression_reason if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{mark}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# lint:`` directive."""
+
+    line: int
+    rules: Set[str]  # rule ids and/or slugs; empty set means skip-file
+    reason: str
+    skip_file: bool = False
+    used: bool = False
+
+    def matches(self, rule_id: str, slug: str, line: int) -> bool:
+        if self.skip_file:
+            return True
+        # same line, or a standalone comment directly above the finding
+        if line not in (self.line, self.line + 1):
+            return False
+        return rule_id in self.rules or slug in self.rules
+
+
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    def __init__(self, path: str, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath  # forward-slash path relative to the repo root
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = parse_suppressions(source)
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``slug``/``title`` and implement
+    ``check``; override ``applies`` to scope the rule to a path subset."""
+
+    id: str = "RL000"
+    slug: str = "base"
+    title: str = "base rule"
+
+    def applies(self, relpath: str) -> bool:
+        return True
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- helpers shared by rules ---------------------------------------
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+_DIRECTIVE_RE = re.compile(r"#\s*lint:\s*(.+?)\s*$")
+_ALLOW_RE = re.compile(r"allow-([a-z][a-z0-9-]*)\s*\(\s*(.*?)\s*\)\s*$")
+_DISABLE_RE = re.compile(
+    r"disable\s*=\s*([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)\s*"
+    r"(?:\(\s*(.*?)\s*\)|--\s*(.*?))?\s*$"
+)
+_SKIP_FILE_RE = re.compile(r"skip-file\s*\(\s*(.*?)\s*\)\s*$")
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """``(lineno, text)`` for every real comment token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps directive
+    text inside string literals and docstrings from being mistaken for
+    directives.  On a tokenize error, fall back to whole-line scanning
+    so suppressions still work in files ``ast.parse`` accepted.
+    """
+    out: List[Tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError):
+        return [(n, line) for n, line in enumerate(source.splitlines(), start=1)]
+    return out
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """All ``# lint:`` directives in a file's comments (1-indexed lines).
+
+    Malformed directives (unknown form, missing reason) come back as a
+    suppression with an empty ``rules`` set and ``reason == ""`` — the
+    driver reports those as LNT000 findings instead of honoring them.
+    """
+    out: List[Suppression] = []
+    for n, line in _comment_tokens(source):
+        m = _DIRECTIVE_RE.search(line)
+        if m is None:
+            continue
+        directive = m.group(1)
+        allow = _ALLOW_RE.match(directive)
+        if allow is not None:
+            out.append(Suppression(n, {allow.group(1)}, allow.group(2)))
+            continue
+        disable = _DISABLE_RE.match(directive)
+        if disable is not None:
+            rules = {r.strip() for r in disable.group(1).split(",")}
+            reason = disable.group(2) or disable.group(3) or ""
+            out.append(Suppression(n, rules, reason))
+            continue
+        skip = _SKIP_FILE_RE.match(directive)
+        if skip is not None:
+            out.append(Suppression(n, set(), skip.group(1), skip_file=True))
+            continue
+        out.append(Suppression(n, set(), ""))  # malformed
+    return out
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+_SKIP_DIRS = {"__pycache__", ".git", "output", ".pytest_cache"}
+
+
+def collect_files(paths: Iterable[str], root: str) -> List[str]:
+    """Every ``*.py`` file under ``paths`` (files pass through), sorted."""
+    found: List[str] = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            found.append(ap)
+            continue
+        for dirpath, dirnames, filenames in os.walk(ap):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(os.path.join(dirpath, name))
+    return found
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    parse_errors: List[str] = field(default_factory=list)
+    n_files: int = 0
+    unused_suppressions: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.parse_errors
+
+
+def _apply_suppressions(module: ParsedModule, rule: Rule,
+                        findings: List[Finding]) -> None:
+    for f in findings:
+        for sup in module.suppressions:
+            if not sup.reason:
+                continue  # malformed/empty-reason directives never suppress
+            if sup.matches(rule.id, rule.slug, f.line):
+                f.suppressed = True
+                f.suppression_reason = sup.reason
+                sup.used = True
+                break
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    root: Optional[str] = None,
+    select: Optional[Set[str]] = None,
+) -> LintReport:
+    """Run ``rules`` over every Python file under ``paths``."""
+    root = root or os.getcwd()
+    report = LintReport()
+    active_rules = [r for r in rules if select is None or r.id in select]
+    for path in collect_files(paths, root):
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                module = ParsedModule(path, relpath, fh.read())
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        report.n_files += 1
+        for sup in module.suppressions:
+            if not sup.reason:
+                report.findings.append(Finding(
+                    rule="LNT000", path=relpath, line=sup.line, col=1,
+                    message="malformed lint directive or missing reason "
+                            "(use `# lint: allow-<slug>(reason)`)",
+                ))
+        for rule in active_rules:
+            if not rule.applies(relpath):
+                continue
+            found = list(rule.check(module))
+            _apply_suppressions(module, rule, found)
+            report.findings.extend(found)
+        for sup in module.suppressions:
+            if sup.reason and not sup.used:
+                report.unused_suppressions.append(
+                    f"{relpath}:{sup.line}: suppression for "
+                    f"{','.join(sorted(sup.rules)) or 'file'} never matched a finding"
+                )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+# ----------------------------------------------------------------------
+# small AST utilities shared by the rules
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_functions(tree: ast.AST) -> Iterator[Tuple[ast.AST, Optional[ast.AST]]]:
+    """Yield ``(function, nearest_enclosing_function_or_None)`` for every def."""
+    stack: List[Tuple[ast.AST, Optional[ast.AST]]] = [(tree, None)]
+    while stack:
+        node, enclosing = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            enclosing = node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, enclosing
+            stack.append((child, enclosing))
+
+
+def module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (imports, defs, assignments)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                for sub in ast.walk(tgt):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
