@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-service bench bench-smoke bench-solver bench-dump bench-platforms bench-service lint docs-check ci all
+.PHONY: test test-service chaos bench bench-smoke bench-solver bench-dump bench-platforms bench-service bench-chaos lint docs-check ci all
 
 all: test docs-check
 
@@ -15,6 +15,14 @@ test:
 # one-shot equivalence suite, and the fault-injection suite.
 test-service:
 	$(PYTHON) -m pytest tests/test_service.py tests/test_service_equivalence.py tests/test_service_faults.py -q
+
+# The chaos suite with injection armed and the runtime sanitizer on:
+# fault-policy retries, supervised-pool recovery (kills, hangs, poison
+# cases), sharded-store crash consistency, and the two-process shared
+# sweep — plus the executor unit tests to prove supervision does not
+# regress the clean path.
+chaos:
+	REPRO_FAULTS=1 REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_campaign_executor.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
@@ -44,6 +52,13 @@ bench-platforms:
 bench-service:
 	$(PYTHON) -m pytest benchmarks/bench_service.py -q -o python_files='bench_*.py'
 
+# Full-size run of the resilience bench (supervised-executor overhead
+# with injection off, and the 200-case two-process chaos gate: 20%
+# transients, two worker kills, one torn store write); asserts the <=5%
+# overhead ceiling and writes BENCH_resilience.json.
+bench-chaos:
+	$(PYTHON) -m pytest benchmarks/bench_chaos.py -q -o python_files='bench_*.py'
+
 # Tiny-size run of every bench (REPRO_BENCH_SMOKE=1), asserting each
 # emits its artifact — bench-harness regressions without the bench cost.
 bench-smoke:
@@ -55,7 +70,7 @@ lint:
 	$(PYTHON) -m tools.lint src tests benchmarks tools
 
 docs-check:
-	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md docs/PLATFORMS.md docs/SERVICE.md docs/LINT.md
+	$(PYTHON) tools/docs_check.py README.md docs/ARCHITECTURE.md docs/CAMPAIGN.md docs/PLATFORMS.md docs/SERVICE.md docs/LINT.md docs/RESILIENCE.md
 
 # The one-stop regression gate: tests + lint + docs + bench harness.
 ci: test lint docs-check bench-smoke

@@ -1,0 +1,255 @@
+"""Resilience: supervised-executor overhead and the chaos acceptance gate.
+
+Two claims, measured as data:
+
+1. **Supervision is ~free.**  With injection off, the supervised
+   :class:`~repro.campaign.executor.CampaignExecutor` (retry policy,
+   outcome bookkeeping, flush barrier) must stay within 5% of a plain
+   ``run_case`` loop over the same cases.
+
+2. **Chaos completes fully accounted.**  A 200-case sweep split across
+   two executor *processes* sharing one sharded store — under a 20%
+   transient-exception rate, two worker kills, and one torn store write
+   — must finish with zero failures, every surviving record
+   bit-identical to a clean serial run, and the store intact minus
+   exactly the torn entry.
+
+Emits ``benchmarks/output/BENCH_resilience.json``.  Smoke mode shrinks
+the sweep to 16 cases and skips the scale-dependent overhead floor.
+"""
+
+import gc
+import json
+import math
+import multiprocessing
+import os
+import statistics
+import time
+import warnings
+from dataclasses import asdict
+
+from repro.campaign import ShardedResultStore, StoreCorruptionWarning, run_campaign
+from repro.campaign.cases import Case
+from repro.campaign.executor import CampaignExecutor
+from repro.campaign.records import record_from_result
+from repro.campaign.runner import run_case
+from repro.faults import FaultPolicy
+from repro.sim.inputs import CastroInputs
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+BENCH_PATH = os.path.join(OUTPUT_DIR, "BENCH_resilience.json")
+
+FAULT_ENV_KEYS = (
+    "REPRO_FAULTS",
+    "REPRO_FAULTS_SEED",
+    "REPRO_FAULTS_TRANSIENT",
+    "REPRO_FAULTS_TRANSIENT_ATTEMPTS",
+    "REPRO_FAULTS_SLOW",
+    "REPRO_FAULTS_SLOW_S",
+    "REPRO_FAULTS_KILL",
+    "REPRO_FAULTS_TORN",
+    "REPRO_FAULTS_CORRUPT",
+)
+
+# Small-mesh rungs of the Table-III ladder: each case is milliseconds,
+# so a 200-case sweep stresses scheduling/persistence, not the engine.
+_LADDER = [(32, 1, 1), (64, 2, 1), (128, 4, 1), (256, 8, 1)]
+
+
+def _chaos_cases(n):
+    """``n`` distinct-named cases cycling the small-mesh ladder.
+
+    Built by hand rather than via :func:`sweep_cases` because the sweep
+    helper derives names from (mesh, cfl, level) and a dense cfl grid
+    would collide; the chaos gate needs every name unique so per-case
+    injection targets exactly one run.  The cfl ramp is continuous so
+    every case is also *content*-unique: the store keys by content, and
+    a repeating parameter grid would collapse the sweep to a handful of
+    entries.
+    """
+    cases = []
+    for i in range(n):
+        side, nprocs, nnodes = _LADDER[i % len(_LADDER)]
+        cfl = round(0.3 + 0.3 * i / max(1, n - 1), 6)
+        cases.append(Case(
+            name=f"chaos_{i:03d}_n{side}_np{nprocs}",
+            inputs=CastroInputs(n_cell=(side, side), max_level=1 + (i % 2),
+                                max_step=10, plot_int=5, cfl=cfl,
+                                stop_time=1e9),
+            nprocs=nprocs, nnodes=nnodes, engine="workload"))
+    return cases
+
+
+def _dumps(record_or_dict):
+    payload = (record_or_dict if isinstance(record_or_dict, dict)
+               else asdict(record_or_dict))
+    return json.dumps(payload, sort_keys=True)
+
+
+def _chaos_worker(root, lo, hi, n, out_path, env):
+    """One of the two executor processes sharing the sharded store."""
+    os.environ.update(env)
+    cases = _chaos_cases(n)[lo:hi]
+    store = ShardedResultStore(root)
+    result = run_campaign(cases, jobs=2, store=store,
+                          policy=FaultPolicy(backoff_base=0.001))
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump({
+            "records": [asdict(r) for r in result.records],
+            "failures": result.failures,
+            "retries": sum(result.retries.values()),
+            "requeues": sum(result.requeues.values()),
+        }, fh)
+
+
+def test_resilience(once, emit, bench_json, tmp_path, smoke, monkeypatch):
+    for key in FAULT_ENV_KEYS:  # honest faults-off baselines
+        monkeypatch.delenv(key, raising=False)
+    n = 16 if smoke else 200
+    cases = _chaos_cases(n)
+
+    # -- claim 1: supervision overhead with injection off --------------
+    def plain_loop():
+        return [record_from_result(c.name, run_case(c), c.nnodes, c.engine)
+                for c in cases]
+
+    def supervised():
+        return CampaignExecutor(max_workers=1).run(cases).records
+
+    plain_records = plain_loop()  # warm imports/caches before timing
+    supervised()
+    # The true overhead is ~1%, far below the noise of this possibly
+    # busy single-core host (the numpy-heavy workload itself drifts
+    # ±10% with CPU frequency and cache state).  So measure it as a
+    # PAIRED comparison: run the two paths back-to-back each round (the
+    # drift hits both halves of a pair alike and cancels), on CPU time
+    # (preemption by other processes must not count as supervision
+    # cost), GC paused, and take the median of the per-round deltas —
+    # robust against the occasional round where the host stalls one
+    # half of a pair.
+    pair_pcts = []
+    t_plain, t_supervised = math.inf, math.inf
+    gc.disable()
+    try:
+        for _ in range(9):
+            tp = _timed(plain_loop)
+            ts = _timed(supervised)
+            pair_pcts.append(100.0 * (ts - tp) / tp)
+            t_plain = min(t_plain, tp)
+            t_supervised = min(t_supervised, ts)
+    finally:
+        gc.enable()
+    overhead_pct = statistics.median(pair_pcts)
+
+    # -- claim 2: the chaos gate ---------------------------------------
+    baseline = {r.name: _dumps(r) for r in supervised()}
+    assert len(baseline) == n
+
+    kill_a = cases[n // 4].name  # one worker kill per executor process
+    kill_b = cases[(3 * n) // 4].name
+    torn = cases[n // 2 + 1].name
+    env = {
+        "REPRO_FAULTS": "1",
+        "REPRO_FAULTS_SEED": "42",
+        "REPRO_FAULTS_TRANSIENT": "0.2",
+        "REPRO_FAULTS_KILL": f"{kill_a},{kill_b}",
+        "REPRO_FAULTS_TORN": torn,
+    }
+    root = str(tmp_path / "shards")
+    outs = [str(tmp_path / "half0.json"), str(tmp_path / "half1.json")]
+    ctx = multiprocessing.get_context("fork")
+    half = n // 2
+
+    def chaos_sweep():
+        procs = [
+            ctx.Process(target=_chaos_worker,
+                        args=(root, 0, half, n, outs[0], env)),
+            ctx.Process(target=_chaos_worker,
+                        args=(root, half, n, n, outs[1], env)),
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=600)
+            assert p.exitcode == 0, f"chaos executor process died: {p.exitcode}"
+
+    t0 = time.perf_counter()
+    once(chaos_sweep)
+    chaos_wall = time.perf_counter() - t0
+
+    merged, failures, retries, requeues = {}, {}, 0, 0
+    for out in outs:
+        with open(out, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        for rec in payload["records"]:
+            merged[rec["name"]] = _dumps(rec)
+        failures.update(payload["failures"])
+        retries += payload["retries"]
+        requeues += payload["requeues"]
+
+    # every case accounted for, and bit-identical to the clean serial run
+    assert not failures, f"chaos sweep failures: {failures}"
+    assert set(merged) == set(baseline)
+    mismatched = [name for name in baseline if merged[name] != baseline[name]]
+    assert not mismatched, f"records diverged under chaos: {mismatched[:5]}"
+    assert requeues >= 1  # at least one worker kill was recovered
+
+    # the shared store survived: intact minus exactly the torn write
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        store = ShardedResultStore(root)
+    entries_after_chaos = len(store)
+    assert entries_after_chaos == n - 1
+    assert any(isinstance(w.message, StoreCorruptionWarning) for w in caught)
+    resumed = run_campaign(cases, jobs=1, store=store)
+    assert resumed.n_executed == 1  # only the torn case re-runs
+
+    if not smoke:
+        assert overhead_pct <= 5.0, (
+            f"supervised executor overhead {overhead_pct:.2f}% > 5%")
+
+    payload = {
+        "n_cases": n,
+        "smoke": smoke,
+        "overhead": {
+            "plain_loop_s": round(t_plain, 4),
+            "supervised_s": round(t_supervised, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "bound_pct": 5.0,
+            "method": "median of paired CPU-time rounds "
+                      f"(n={len(pair_pcts)}, gc off)",
+        },
+        "chaos": {
+            "executor_processes": 2,
+            "jobs_per_process": 2,
+            "transient_rate": 0.2,
+            "worker_kills": 2,
+            "torn_writes": 1,
+            "wall_s": round(chaos_wall, 3),
+            "failures": len(failures),
+            "retries": retries,
+            "requeues": requeues,
+            "records_bit_identical": True,
+            "store_entries_after_chaos": entries_after_chaos,
+            "store_entries_after_resume": len(store),
+        },
+    }
+    bench_json(BENCH_PATH, payload)
+    emit("BENCH_resilience", "\n".join([
+        f"resilience gate over {n} cases "
+        f"({len(plain_records)} records/baseline run):",
+        f"  supervised overhead (faults off): {overhead_pct:+.2f}% "
+        f"(plain {t_plain:.3f}s vs supervised {t_supervised:.3f}s, bound 5%)",
+        f"  chaos sweep (2 procs x 2 workers, 20% transient, 2 kills, "
+        f"1 torn write): {chaos_wall:.2f}s wall",
+        f"  failures: {len(failures)}   retries: {retries}   "
+        f"requeues: {requeues}   records bit-identical: yes",
+        f"  shared store after chaos: {entries_after_chaos}/{n} entries "
+        f"(exactly the torn write lost, re-run on resume)",
+    ]))
+
+
+def _timed(fn):
+    t0 = time.process_time()
+    fn()
+    return time.process_time() - t0

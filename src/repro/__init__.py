@@ -22,6 +22,10 @@ Subpackages
     burst-buffer, workstation) dispatching the storage-model hierarchy.
 ``repro.campaign`` / ``repro.analysis``
     The 47-run study machinery and the figure/table analysis layer.
+``repro.faults``
+    Deterministic chaos: seeded env-gated fault injection and the
+    retry/backoff :class:`~repro.faults.FaultPolicy` behind the
+    executor's resilience guarantees.
 ``repro.service``
     Prediction-as-a-service: the batched query engine over the
     predictor and the result store (``repro-serve``).
@@ -34,6 +38,7 @@ from . import (
     analysis,
     campaign,
     core,
+    faults,
     hydro,
     iosim,
     macsio,
@@ -50,6 +55,7 @@ __all__ = [
     "analysis",
     "campaign",
     "core",
+    "faults",
     "hydro",
     "iosim",
     "macsio",

@@ -1,5 +1,6 @@
-"""Parameterized-run campaign: cases, Table-III sweep, parallel
-executor, persistent result store, and run records."""
+"""Parameterized-run campaign: cases, Table-III sweep, supervised
+parallel executor, persistent (optionally sharded multi-writer) result
+store, and run records."""
 
 from .cases import (
     CASE_REGISTRY,
@@ -10,9 +11,15 @@ from .cases import (
     large_case,
     small_solver_case,
 )
-from .executor import CampaignExecutor, CaseOutcome
+from .executor import (
+    CampaignExecutor,
+    CaseOutcome,
+    StoreFlushWarning,
+    StorePersistWarning,
+)
 from .records import RunRecord, load_records, record_from_result, save_records
 from .runner import CampaignResult, run_campaign, run_case
+from .shard import ShardedResultStore, migrate_to_flat, migrate_to_sharded
 from .store import ResultStore, StoreCorruptionWarning, case_key
 from .sweep import (
     TABLE_III_RANGES,
@@ -32,6 +39,8 @@ __all__ = [
     "small_solver_case",
     "CampaignExecutor",
     "CaseOutcome",
+    "StoreFlushWarning",
+    "StorePersistWarning",
     "RunRecord",
     "load_records",
     "record_from_result",
@@ -40,6 +49,9 @@ __all__ = [
     "run_campaign",
     "run_case",
     "ResultStore",
+    "ShardedResultStore",
+    "migrate_to_flat",
+    "migrate_to_sharded",
     "StoreCorruptionWarning",
     "case_key",
     "TABLE_III_RANGES",

@@ -65,12 +65,27 @@ class CampaignResult:
     ``failures`` maps case name -> error text for cases that raised or
     timed out; ``cached`` names the cases served from a ResultStore
     without executing.  ``seconds`` covers every case (0.0 for hits).
+
+    The resilience counters account for recovery work the executor did
+    on the way to this result: ``retries`` / ``requeues`` map case name
+    to how often it was re-executed after a transient failure or
+    re-submitted after a worker-pool death; ``quarantined`` names
+    poison cases (two pool deaths — also present in ``failures``);
+    ``failed_puts`` and ``unflushed`` name cases whose records came
+    back fine but whose store persistence failed or was still unproven
+    at return (each accompanied by a named warning).  A sweep is fully
+    persisted iff both are empty.
     """
 
     records: List[RunRecord] = field(default_factory=list)
     seconds: Dict[str, float] = field(default_factory=dict)
     failures: Dict[str, str] = field(default_factory=dict)
     cached: List[str] = field(default_factory=list)
+    retries: Dict[str, int] = field(default_factory=dict)
+    requeues: Dict[str, int] = field(default_factory=dict)
+    quarantined: List[str] = field(default_factory=list)
+    failed_puts: List[str] = field(default_factory=list)
+    unflushed: List[str] = field(default_factory=list)
 
     def by_name(self) -> Dict[str, RunRecord]:
         return {r.name: r for r in self.records}
@@ -80,6 +95,11 @@ class CampaignResult:
         """Cases actually run this invocation (not cached, not failed)."""
         return len(self.records) - len(self.cached)
 
+    @property
+    def n_retries(self) -> int:
+        """Total transient-failure retries across the sweep."""
+        return sum(self.retries.values())
+
 
 def run_campaign(
     cases: List[Case],
@@ -88,6 +108,8 @@ def run_campaign(
     store=None,
     timeout: Optional[float] = None,
     service=None,
+    policy=None,
+    heartbeat: Optional[float] = None,
     **kwargs,
 ) -> CampaignResult:
     """Run a list of cases through the :class:`CampaignExecutor`.
@@ -99,7 +121,11 @@ def run_campaign(
     :class:`~repro.service.engine.PredictionService`: the sweep runs
     against the service's store (unless ``store`` overrides it), so
     every finished case is servable through ``lookup_many`` the moment
-    it completes.  Remaining kwargs forward to :func:`run_case`.
+    it completes.  ``policy`` is an optional
+    :class:`~repro.faults.FaultPolicy` (retry/backoff for transient
+    failures) and ``heartbeat`` the wall-clock hung-worker deadline —
+    see :class:`CampaignExecutor`.  Remaining kwargs forward to
+    :func:`run_case`.
     """
     from .executor import CampaignExecutor
 
@@ -110,5 +136,6 @@ def run_campaign(
                 "service has no ResultStore attached; pass store= or build "
                 "the service with one"
             )
-    executor = CampaignExecutor(max_workers=jobs, timeout=timeout, store=store)
+    executor = CampaignExecutor(max_workers=jobs, timeout=timeout, store=store,
+                                policy=policy, heartbeat=heartbeat)
     return executor.run(cases, progress=progress, **kwargs)

@@ -24,10 +24,17 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 import warnings
 from dataclasses import asdict
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
+try:  # advisory locks for multi-writer shards; absent on non-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only container
+    fcntl = None  # type: ignore[assignment]
+
+from ..faults import active as _faults_active
 from .cases import Case
 from .records import RunRecord, record_from_dict
 
@@ -51,6 +58,115 @@ def _code_version() -> str:
     from .. import __version__
 
     return __version__
+
+
+def _entry_line(entry: Dict) -> bytes:
+    """One entry as its canonical newline-terminated JSONL bytes."""
+    return (json.dumps(entry, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+# An exclusive flock is expected to be held for microseconds (one write
+# + fsync); waiting longer means the holder is gone wrong — typically a
+# process that fork()ed while the lock was held and whose child still
+# keeps the inherited file description open.
+_FLOCK_DEADLINE_S = 10.0
+
+
+def _flock_exclusive(fd: int, path: str) -> None:
+    """Take ``LOCK_EX`` without risking an unbounded hang.
+
+    ``flock`` lives on the *open file description*, so a child process
+    forked while a writer holds the lock inherits it — and an idle,
+    long-lived child (a worker-pool process) then pins it forever.
+    Polling ``LOCK_NB`` under a deadline turns that pathology into a
+    loud :class:`TimeoutError` (surfaced by the executor as a
+    :class:`~repro.campaign.executor.StorePersistWarning`) instead of a
+    frozen sweep.
+    """
+    deadline = time.monotonic() + _FLOCK_DEADLINE_S
+    while True:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"could not lock {path!r} within "
+                    f"{_FLOCK_DEADLINE_S:.0f}s; a dead or forked writer "
+                    f"may still hold the advisory lock") from None
+            time.sleep(0.005)
+
+
+def _flock_shared(fd: int, path: str) -> None:
+    """``LOCK_SH`` with the same deadline discipline as
+    :func:`_flock_exclusive`, for readers tailing multi-writer shards."""
+    deadline = time.monotonic() + _FLOCK_DEADLINE_S
+    while True:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_SH | fcntl.LOCK_NB)
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"could not read-lock {path!r} within "
+                    f"{_FLOCK_DEADLINE_S:.0f}s; a dead or forked writer "
+                    f"may still hold the advisory lock") from None
+            time.sleep(0.005)
+
+
+def _append_entry(path: str, entry: Dict) -> None:
+    """Append one entry as a **single** ``os.write`` on an O_APPEND fd.
+
+    POSIX O_APPEND makes the seek+write atomic, and issuing the whole
+    line in one ``write`` call keeps concurrent writers from
+    interleaving partial lines (the buffered ``open("a")`` + ``write`` +
+    ``flush`` path could split a line over the pipe-buffer size).  An
+    advisory ``flock`` is taken when available so shard readers under
+    ``LOCK_SH`` never observe a half-written line, but correctness
+    against other *writers* rests on the single O_APPEND write alone.
+
+    This is also the store's fault-injection point: under
+    ``REPRO_FAULTS`` a selected case's line may be torn (a leading
+    fragment plus a newline — the blast radius is exactly one record)
+    or followed by a garbage line, exercising the corruption-skip path.
+    """
+    data = _entry_line(entry)
+    injector = _faults_active()
+    if injector is not None:
+        name = str(entry.get("case", ""))
+        if injector.torn_write(name):
+            data = data[: max(1, (2 * len(data)) // 3)] + b"\n"
+        if injector.corrupt_line(name):
+            data = data + injector.garbage_line(name)
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        if fcntl is not None:
+            _flock_exclusive(fd, path)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
+def _classify_line(line: str, code_version: str) -> Tuple[str, Optional[Dict]]:
+    """Parse one JSONL line -> ``("ok"|"foreign"|"corrupt", entry|None)``.
+
+    Shared by the flat loader and the sharded incremental reader so both
+    apply identical corruption and version semantics.
+    """
+    try:
+        entry = json.loads(line)
+    except json.JSONDecodeError:
+        return "corrupt", None
+    if not isinstance(entry, dict) or "key" not in entry or "record" not in entry:
+        return "corrupt", None
+    if entry.get("code_version") != code_version:
+        return "foreign", entry
+    return "ok", entry
 
 
 def _canonical(obj):
@@ -142,19 +258,14 @@ class ResultStore:
                 if not line:
                     continue
                 n_lines += 1
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
+                kind, entry = _classify_line(line, self.code_version)
+                if kind == "corrupt":
                     n_corrupt += 1
-                    continue
-                if not isinstance(entry, dict) or "key" not in entry or "record" not in entry:
-                    n_corrupt += 1
-                    continue
-                if entry.get("code_version") != self.code_version:
+                elif kind == "foreign":
                     self._foreign[entry["key"]] = entry
-                    continue
-                # later lines win: a re-put after invalidation supersedes
-                self._entries[entry["key"]] = entry
+                else:
+                    # later lines win: a re-put after invalidation supersedes
+                    self._entries[entry["key"]] = entry
         if n_corrupt:
             warnings.warn(
                 StoreCorruptionWarning(
@@ -209,20 +320,30 @@ class ResultStore:
 
     # -- mutation ------------------------------------------------------
     def put(self, key: str, record: RunRecord, seconds: float = 0.0) -> None:
-        """Insert/overwrite one entry; appended and flushed immediately."""
-        entry = {
+        """Insert/overwrite one entry; appended and fsynced immediately.
+
+        The on-disk append is a single ``os.write`` on an O_APPEND fd
+        (see :func:`_append_entry`), so concurrent writers to the same
+        file can interleave whole lines but never fragments.
+        """
+        entry = self._make_entry(key, record, seconds)
+        self._entries[key] = entry
+        if self.path is not None:
+            _append_entry(self.path, entry)
+
+    def _make_entry(self, key: str, record: RunRecord, seconds: float) -> Dict:
+        return {
             "key": key,
             "case": record.name,
             "code_version": self.code_version,
             "seconds": float(seconds),
             "record": asdict(record),
         }
-        self._entries[key] = entry
-        if self.path is not None:
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
+
+    def _snapshot(self) -> List[Dict]:
+        """Every on-disk entry (foreign first, as on compaction) — the
+        migration unit for sharded<->flat conversion."""
+        return list(self._foreign.values()) + list(self._entries.values())
 
     def put_for(self, case: Case, record: RunRecord, seconds: float = 0.0,
                 extra: Optional[Dict] = None) -> str:
@@ -247,9 +368,9 @@ class ResultStore:
         if self.path is None:
             return
         tmp = self.path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for entry in self._foreign.values():
-                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
-            for entry in self._entries.values():
-                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        with open(tmp, "wb") as fh:
+            for entry in self._snapshot():
+                fh.write(_entry_line(entry))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.path)

@@ -1,0 +1,51 @@
+"""Deterministic fault injection and retry policy for campaign resilience.
+
+The chaos side of the correctness tooling (``repro.sanitize`` is the
+aliasing side): with ``REPRO_FAULTS=1`` in the environment, seeded
+injection points throughout the campaign layer simulate the failures a
+long sweep meets on a shared cluster —
+
+- a **transient case exception** (:class:`TransientError`) on the first
+  execution attempt(s) of a seeded fraction of cases,
+- a **worker kill** (``os._exit`` inside a pool worker — the signature
+  of an OOM kill or segfault, which breaks the whole pool),
+- a **slow case** (an injected sleep, which trips the per-case timeout
+  or the executor's wall-clock heartbeat),
+- a **torn store write** (a partial JSONL line, the crash-mid-``put``
+  signature the store must skip on load), and
+- a **corrupt store line** (garbage appended after a put).
+
+Every decision is a pure function of ``(seed, site, key, attempt)`` via
+:func:`unit_roll` — stable across processes, call order, and platforms —
+so a chaos run is exactly reproducible and its surviving records can be
+asserted bit-identical to a clean run.  With ``REPRO_FAULTS`` unset (or
+``0``) :func:`active` returns ``None`` and every injection site reduces
+to one environment read.
+
+:class:`FaultPolicy` is the recovery half: it classifies which failures
+are retryable and computes exponential backoff with deterministic
+seeded jitter.  It is consumed by
+:class:`~repro.campaign.executor.CampaignExecutor` whether or not
+injection is enabled — real transient faults retry the same way
+injected ones do.
+"""
+
+from .inject import (
+    FaultInjector,
+    FaultSpec,
+    TransientError,
+    active,
+    enabled,
+    unit_roll,
+)
+from .policy import FaultPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "FaultPolicy",
+    "TransientError",
+    "active",
+    "enabled",
+    "unit_roll",
+]

@@ -1,0 +1,82 @@
+"""Retry/backoff policy for transient campaign-case failures.
+
+:class:`FaultPolicy` is the executor's recovery contract: which failure
+texts are retryable, how many retries a single case gets, how many the
+whole sweep gets (the budget), and how long to back off between
+attempts.  Jitter is derived from :func:`repro.faults.inject.unit_roll`
+rather than an RNG, so two executor processes sharing a sweep spread
+their retries apart deterministically and a chaos run replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .inject import unit_roll
+
+__all__ = ["FaultPolicy"]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-case retry and backoff configuration for a sweep.
+
+    ``max_retries`` bounds re-executions of one case beyond its first
+    attempt; ``retry_budget`` (``None`` = unlimited) bounds retries
+    across the whole sweep so a pathological batch can't retry forever.
+    A failure is retryable when any ``retry_match`` substring appears in
+    its error text — by default the injected
+    :class:`~repro.faults.inject.TransientError` plus common transient
+    OS-level signatures.  ``delay(case, attempt)`` grows as
+    ``backoff_base * backoff_factor**attempt`` capped at ``backoff_max``,
+    then spread by ``±jitter`` (a fraction) via a seeded hash of the
+    case name and attempt.
+    """
+
+    max_retries: int = 2
+    retry_budget: Optional[int] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    retry_match: Tuple[str, ...] = (
+        "TransientError",
+        "ConnectionResetError",
+        "Resource temporarily unavailable",
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"FaultPolicy.max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError(
+                f"FaultPolicy.retry_budget must be >= 0 or None, "
+                f"got {self.retry_budget}")
+        for attr in ("backoff_base", "backoff_factor", "backoff_max"):
+            value = getattr(self, attr)
+            if value < 0.0:
+                raise ValueError(f"FaultPolicy.{attr} must be >= 0, got {value}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"FaultPolicy.jitter must be in [0, 1], got {self.jitter}")
+
+    def retryable(self, error_text: str) -> bool:
+        """Does this failure text qualify for a retry?"""
+        return any(pat in error_text for pat in self.retry_match)
+
+    def delay(self, case_name: str, attempt: int) -> float:
+        """Seconds to back off before re-running ``case_name``.
+
+        ``attempt`` is the attempt that just failed (0-based), so the
+        first retry waits roughly ``backoff_base``.  Deterministic:
+        the jitter is a seeded hash, not an RNG draw.
+        """
+        base = min(self.backoff_base * self.backoff_factor ** attempt,
+                   self.backoff_max)
+        if base <= 0.0 or self.jitter == 0.0:
+            return base
+        spread = 2.0 * unit_roll(self.seed, "backoff", case_name, attempt) - 1.0
+        return max(0.0, base * (1.0 + self.jitter * spread))

@@ -311,6 +311,64 @@ class TestRuleCorpus:
         report = run_lint(tmp_path, files, select={"RL008"})
         assert report.ok
 
+    def test_rl009_logged_only_except_fires(self, tmp_path):
+        # RL005-clean (the exception is bound and used) but RL009-dirty:
+        # a merely-logged failure is invisible to the retry machinery.
+        bad = """
+            import logging
+            log = logging.getLogger(__name__)
+            def handle(case):
+                try:
+                    return run(case)
+                except Exception as exc:
+                    log.exception(exc)
+                    return None
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/campaign/x.py": bad}, select={"RL009"})
+        assert active_rules(report) == ["RL009"]
+        assert "retryable outcome" in report.active[0].message
+
+    def test_rl009_err_status_tuple_is_clean(self, tmp_path):
+        good = """
+            import traceback
+            def handle(case):
+                try:
+                    return ("ok", run(case), 0.0)
+                except Exception:
+                    return ("err", traceback.format_exc(), 0.0)
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/campaign/x.py": good}, select={"RL009"})
+        assert report.ok
+
+    def test_rl009_error_response_field_is_clean(self, tmp_path):
+        good = """
+            def serve(req):
+                try:
+                    return {"ok": answer(req)}
+                except Exception as exc:
+                    return {"ok": False, "error": str(exc)}
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/service/x.py": good}, select={"RL009"})
+        assert report.ok
+
+    def test_rl009_does_not_apply_outside_campaign_service(self, tmp_path):
+        bad = """
+            import logging
+            log = logging.getLogger(__name__)
+            def handle(case):
+                try:
+                    return run(case)
+                except Exception as exc:
+                    log.exception(exc)
+                    return None
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/hydro/x.py": bad}, select={"RL009"})
+        assert report.ok
+
 
 class TestSuppressions:
     def test_same_line_allow_suppresses(self, tmp_path):
@@ -407,10 +465,10 @@ class TestRepoIsClean:
         assert report.n_files > 100
 
     def test_every_rule_has_a_distinct_id_and_slug(self):
-        assert len(RULE_IDS) == 8
-        assert len(set(RULE_IDS)) == 8
+        assert len(RULE_IDS) == 9
+        assert len(set(RULE_IDS)) == 9
         slugs = [r.slug for r in ALL_RULES]
-        assert len(set(slugs)) == 8
+        assert len(set(slugs)) == 9
 
 
 class TestCli:

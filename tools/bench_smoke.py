@@ -50,6 +50,7 @@ REQUIRED_JSON = {
     "BENCH_dump.json",
     "BENCH_platforms.json",
     "BENCH_service.json",
+    "BENCH_resilience.json",
 }
 
 

@@ -1,18 +1,19 @@
 """The repro-lint rule catalog.
 
-Eight project-specific rules guarding the invariants the plan-cache era
+Nine project-specific rules guarding the invariants the plan-cache era
 rests on (see ``docs/LINT.md`` for the full catalog with examples):
 
-========  ================  ==================================================
-RL001     cache-key         tuple-keyed cache stores must key every input read
-RL002     mutable-plan      arrays stored in plans/caches must be frozen
-RL003     random            no module-level ``np.random.*`` / bare ``random.*``
-RL004     named-valueerror  ``ValueError`` messages must name the parameter
-RL005     broad-except      broad ``except`` must re-record, never swallow
-RL006     hot-loop          per-fab/per-rank Python loops in hot modules
-RL007     worker-capture    pool workers must not capture shared-mutable state
-RL008     api-docstring     ``__init__.py`` exports need docstrings
-========  ================  ==================================================
+=========  =================  ================================================
+RL001      cache-key          tuple-keyed cache stores must key every input read
+RL002      mutable-plan       arrays stored in plans/caches must be frozen
+RL003      random             no module-level ``np.random.*`` / bare ``random.*``
+RL004      named-valueerror   ``ValueError`` messages must name the parameter
+RL005      broad-except       broad ``except`` must re-record, never swallow
+RL006      hot-loop           per-fab/per-rank Python loops in hot modules
+RL007      worker-capture     pool workers must not capture shared-mutable state
+RL008      api-docstring      ``__init__.py`` exports need docstrings
+RL009      retryable-outcome  campaign/service excepts must yield an outcome
+=========  =================  ================================================
 
 Every rule is syntactic and intentionally *narrow*: it matches the
 idioms this codebase actually uses (``LRUCache.put``, ``_PLAN_CACHE[key]``,
@@ -845,6 +846,78 @@ class PublicApiDocstrings(Rule):
         return self._tree_cache[path]
 
 
+# ----------------------------------------------------------------------
+class RetryableOutcome(Rule):
+    """RL009: in the campaign/service layers a broad ``except`` must
+    either re-raise or record a **retryable outcome** — a failure shape
+    the recovery machinery can act on: an ``("err", …)`` status tuple
+    (what :class:`~repro.faults.FaultPolicy` classifies for retry), an
+    ``error=`` response field / ``"error"`` response key (what the
+    service returns per request), or a named ``warnings.warn``.
+
+    Stricter than RL005, which accepts any recording (``log``,
+    ``print_exc``): a failure that is merely *logged* in these layers
+    is invisible to the retry policy, the per-request fault capture,
+    and the sweep's resilience counters — it looks handled but the case
+    silently vanishes from the completion accounting.
+    """
+
+    id = "RL009"
+    slug = "retryable-outcome"
+    title = "broad except in campaign/service must record a retryable outcome"
+
+    _PREFIXES = ("src/repro/campaign/", "src/repro/service/")
+    # recorders that produce an actionable outcome (not just a log line)
+    _OUTCOME_CALLS = re.compile(r"format_exc|warn|capture")
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith(self._PREFIXES)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            t = node.type
+            broad = t is None or (
+                isinstance(t, ast.Name) and t.id in ("Exception", "BaseException")
+            )
+            if not broad:
+                continue
+            if self._yields_outcome(node.body):
+                continue
+            label = "bare `except:`" if t is None else f"`except {t.id}:`"
+            yield self.finding(
+                module, node,
+                f"{label} in the campaign/service layer neither re-raises "
+                f"nor records a retryable outcome; produce an "
+                f'("err", traceback.format_exc(), ...) status, an error= '
+                f"response field, or a named warnings.warn so the retry/"
+                f"fault-capture machinery can account for the case",
+            )
+
+    def _yields_outcome(self, body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+                if isinstance(node, ast.Call):
+                    dn = dotted_name(node.func)
+                    if dn and self._OUTCOME_CALLS.search(dn):
+                        return True
+                    if any(kw.arg == "error" for kw in node.keywords):
+                        return True
+                if (isinstance(node, ast.Tuple) and node.elts
+                        and isinstance(node.elts[0], ast.Constant)
+                        and node.elts[0].value == "err"):
+                    return True
+                if isinstance(node, ast.Dict) and any(
+                    isinstance(k, ast.Constant) and k.value == "error"
+                    for k in node.keys
+                ):
+                    return True
+        return False
+
+
 ALL_RULES = [
     CacheKeyCompleteness(),
     CachedBufferImmutability(),
@@ -854,4 +927,5 @@ ALL_RULES = [
     HotLoopSmell(),
     WorkerClosureCapture(),
     PublicApiDocstrings(),
+    RetryableOutcome(),
 ]
