@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-service chaos bench bench-smoke bench-solver bench-dump bench-platforms bench-service bench-chaos lint docs-check ci all
+.PHONY: test test-service chaos bench bench-smoke bench-solver bench-dump bench-platforms bench-service bench-service-resilience bench-chaos lint docs-check ci all
 
 all: test docs-check
 
@@ -18,11 +18,12 @@ test-service:
 
 # The chaos suite with injection armed and the runtime sanitizer on:
 # fault-policy retries, supervised-pool recovery (kills, hangs, poison
-# cases), sharded-store crash consistency, and the two-process shared
-# sweep — plus the executor unit tests to prove supervision does not
-# regress the clean path.
+# cases), sharded-store crash consistency, the two-process shared
+# sweep, and the serving-side gate (deadlines, backpressure, breaker,
+# kill+restart-from-snapshot bit-identity) — plus the executor unit
+# tests to prove supervision does not regress the clean path.
 chaos:
-	REPRO_FAULTS=1 REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_campaign_executor.py -q
+	REPRO_FAULTS=1 REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_campaign_executor.py tests/test_service_chaos.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
@@ -51,6 +52,13 @@ bench-platforms:
 # and writes BENCH_service.json.
 bench-service:
 	$(PYTHON) -m pytest benchmarks/bench_service.py -q -o python_files='bench_*.py'
+
+# Full-size run of the serving-resilience bench (deadline/breaker
+# bookkeeping on the warm 10^5-request load vs the plain path, plus a
+# snapshot save/restore cycle); asserts the <=5% overhead ceiling and
+# writes BENCH_service_resilience.json.
+bench-service-resilience:
+	$(PYTHON) -m pytest benchmarks/bench_service_resilience.py -q -o python_files='bench_*.py'
 
 # Full-size run of the resilience bench (supervised-executor overhead
 # with injection off, and the 200-case two-process chaos gate: 20%

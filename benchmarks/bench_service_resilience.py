@@ -1,0 +1,154 @@
+"""Resilience-layer overhead: the armed serve path vs the plain one.
+
+PR 9 threads a deadline budget through every request, wraps the store
+behind a circuit breaker, and snapshots the warm caches at batch
+boundaries.  None of that may tax the steady state the service was
+built for: this bench replays the PR 6 warm load (10^5 requests over a
+256-request working set) twice through one warm service —
+
+1. **plain** — ``predict_many(requests)``, the PR 6 path untouched;
+2. **armed** — the same batch with a batch deadline *and* a per-request
+   budget threaded through (both generous, so nothing expires — the
+   cost measured is the bookkeeping itself: one ``Deadline`` per
+   request, two monotonic reads, two expiry checks);
+
+and asserts armed throughput stays within **5%** of plain (the
+acceptance ceiling).  The lookup path is measured the same way (breaker
+consulted per request, refresh stat per batch), and one warm-cache
+snapshot save/restore cycle is timed for the record (it happens at
+batch boundaries, off the per-request path, so it is reported but not
+gated).
+
+Emits ``benchmarks/output/BENCH_service_resilience.json``.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.campaign.cases import CASE_REGISTRY, cases_on_machines
+from repro.campaign.runner import run_campaign
+from repro.campaign.store import ResultStore
+from repro.platform import available_platforms
+from repro.service import (
+    PredictionService,
+    PredictRequest,
+    SnapshotManager,
+)
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+BENCH_PATH = os.path.join(OUTPUT_DIR, "BENCH_service_resilience.json")
+
+OVERHEAD_CEILING = 0.05  # armed warm path within 5% of the plain one
+BATCH_DEADLINE_S = 3600.0  # generous: measure bookkeeping, not expiry
+REQUEST_DEADLINE_S = 60.0
+
+
+def _request_pool(scenarios, machines, n_unique):
+    """Same working-set shape as ``bench_service.py`` (PR 6)."""
+    nprocs_grid = (16, 32, 48, 64, 96, 128, 256)
+    steps_grid = (None, 50, 100, 200, 400)
+    pool = [
+        PredictRequest(scenario=s, machine=m, nprocs=n, steps=k)
+        for n in nprocs_grid
+        for k in steps_grid
+        for s in scenarios
+        for m in machines
+    ]
+    if len(pool) < n_unique:
+        raise ValueError(
+            f"request grid holds {len(pool)} combinations < {n_unique}")
+    return pool[:n_unique]
+
+
+def test_resilience_overhead(once, emit, bench_json, smoke):
+    n_requests = 500 if smoke else 100_000
+    n_unique = 16 if smoke else 256
+    machines = available_platforms()
+    pool = _request_pool(("case4", "case27", "large"), machines, n_unique)
+    rng = np.random.default_rng(2022)
+    requests = [pool[i] for i in rng.integers(0, n_unique, size=n_requests)]
+
+    service = PredictionService(cache_size=4 * n_unique)
+    warmup = service.predict_many(requests)  # fill the LRU
+    assert all(r.ok for r in warmup)
+
+    # -- plain warm replay (the PR 6 steady state) ---------------------
+    t0 = time.perf_counter()
+    plain_responses = service.predict_many(requests)
+    plain_s = time.perf_counter() - t0
+    assert all(r.ok and r.cached for r in plain_responses)
+
+    # -- armed warm replay (deadline bookkeeping on every request) -----
+    t0 = time.perf_counter()
+    armed_responses = once(
+        service.predict_many, requests,
+        deadline=BATCH_DEADLINE_S, per_request_s=REQUEST_DEADLINE_S,
+    )
+    armed_s = time.perf_counter() - t0
+    assert all(r.ok and r.cached for r in armed_responses)
+    assert service.n_deadline == 0  # generous budgets: nothing expired
+    # identical answers with and without the budgets threaded through
+    for a, b in zip(plain_responses[:64], armed_responses[:64]):
+        assert a.prediction is b.prediction
+
+    # -- armed lookups (breaker per request, refresh stat per batch) ---
+    store = ResultStore()
+    lookup_service = PredictionService(store=store)
+    base = CASE_REGISTRY["case4"]
+    lookup_cases = cases_on_machines(
+        [base.with_cfl(c) for c in (0.3, 0.4, 0.5, 0.6)], machines
+    )
+    run_campaign(lookup_cases, store=store)
+    n_lookups = n_requests // 10
+    batch = [lookup_cases[i % len(lookup_cases)] for i in range(n_lookups)]
+    t0 = time.perf_counter()
+    plain_hits = lookup_service.lookup_many(batch)
+    plain_lookup_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    armed_hits = lookup_service.lookup_many(
+        batch, deadline=BATCH_DEADLINE_S, per_request_s=REQUEST_DEADLINE_S)
+    armed_lookup_s = time.perf_counter() - t0
+    assert all(r.ok and r.hit for r in plain_hits + armed_hits)
+    assert lookup_service.stats()["breaker"]["state"] == "closed"
+
+    # -- one snapshot save/restore cycle, for the record ---------------
+    snap_path = os.path.join(OUTPUT_DIR, "_bench_resilience.snap")
+    mgr = SnapshotManager(service, snap_path)
+    t0 = time.perf_counter()
+    mgr.save(served=n_requests)
+    snapshot_save_s = time.perf_counter() - t0
+    restored = PredictionService(cache_size=4 * n_unique)
+    t0 = time.perf_counter()
+    info = SnapshotManager(restored, snap_path).load()
+    snapshot_load_s = time.perf_counter() - t0
+    assert info.restored == n_unique and info.served == n_requests
+    os.unlink(snap_path)
+
+    plain_pps = n_requests / plain_s
+    armed_pps = n_requests / armed_s
+    overhead = (plain_pps - armed_pps) / plain_pps
+    payload = {
+        "n_requests": n_requests,
+        "n_unique": n_unique,
+        "plain_warm_pps": round(plain_pps, 1),
+        "armed_warm_pps": round(armed_pps, 1),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "plain_lookups_per_s": round(n_lookups / plain_lookup_s, 1),
+        "armed_lookups_per_s": round(n_lookups / armed_lookup_s, 1),
+        "snapshot_save_s": round(snapshot_save_s, 4),
+        "snapshot_load_s": round(snapshot_load_s, 4),
+        "snapshot_entries": info.restored,
+    }
+    bench_json(BENCH_PATH, payload)
+    emit("BENCH_service_resilience", json.dumps(payload, indent=1))
+
+    if not smoke:
+        assert overhead <= OVERHEAD_CEILING, (
+            f"resilience-armed warm path must stay within "
+            f"{OVERHEAD_CEILING:.0%} of the plain one, lost "
+            f"{overhead:.1%} ({armed_pps:.0f} vs {plain_pps:.0f} pps)"
+        )

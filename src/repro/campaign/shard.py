@@ -126,6 +126,12 @@ class ShardedResultStore(ResultStore):
         surfaces as one corrupt line once more data lands, or stays
         pending forever, matching the flat store's skip semantics.
         Returns the number of newly ingested current-version entries.
+
+        The flat :meth:`~repro.campaign.store.ResultStore.refresh` is
+        the single-file version of this contract (one ``os.stat`` warm
+        path, byte-offset tails, idempotent re-ingest) — the serving
+        layer calls whichever the attached store provides before each
+        lookup batch.
         """
         n_new = 0
         n_corrupt = 0

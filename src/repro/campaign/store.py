@@ -235,6 +235,11 @@ class ResultStore:
         self._entries: Dict[str, Dict] = {}
         # other-version entries: preserved on disk, never served
         self._foreign: Dict[str, Dict] = {}
+        # incremental-read cursor (see refresh): consumed byte offset,
+        # trailing partial-line bytes, and the mtime of the last scan
+        self._tail_offset = 0
+        self._tail_pending = b""
+        self._tail_mtime_ns = -1
         if path is not None:
             # fail fast here, not at the first mid-sweep put
             parent = os.path.dirname(os.path.abspath(path))
@@ -252,6 +257,7 @@ class ResultStore:
         compacted so a long-lived store doesn't grow without bound."""
         n_lines = 0
         n_corrupt = 0
+        st = os.stat(path)
         with open(path, "r", encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
@@ -276,8 +282,80 @@ class ResultStore:
                 ),
                 stacklevel=3,
             )
+        self._tail_offset = st.st_size
+        self._tail_mtime_ns = st.st_mtime_ns
         if n_lines != len(self._entries) + len(self._foreign):
             self._rewrite()
+
+    def refresh(self) -> int:
+        """Ingest lines appended to the file since the last scan.
+
+        The flat-store version of the sharded tail-read idiom
+        (:meth:`~repro.campaign.shard.ShardedResultStore.refresh`): the
+        warm path is a single ``os.stat`` — when neither size nor mtime
+        moved since the last scan, nothing is opened or read — and new
+        data is tailed from the consumed byte offset under a shared
+        advisory lock, with bytes after the final newline buffered as a
+        pending fragment.  A file that shrank, or changed mtime without
+        growing (a compaction by another process), is re-read from
+        offset zero.  Returns the number of newly ingested
+        current-version entries; corrupt tail lines are skipped with a
+        :class:`StoreCorruptionWarning`.
+        """
+        if self.path is None:
+            return 0
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return 0  # unlinked under us: serve what is already indexed
+        if st.st_size == self._tail_offset and st.st_mtime_ns == self._tail_mtime_ns:
+            return 0
+        if st.st_size < self._tail_offset or st.st_size == self._tail_offset:
+            # shrank (truncation) or same-size mtime change (compaction):
+            # re-read everything — re-ingest is idempotent by key
+            self._tail_offset = 0
+            self._tail_pending = b""
+            self._entries.clear()
+            self._foreign.clear()
+        with open(self.path, "rb") as fh:
+            if fcntl is not None:
+                _flock_shared(fh.fileno(), self.path)
+            try:
+                fh.seek(self._tail_offset)
+                data = fh.read()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        blob = self._tail_pending + data
+        self._tail_offset += len(data)
+        self._tail_mtime_ns = st.st_mtime_ns
+        lines = blob.split(b"\n")
+        self._tail_pending = lines.pop()
+        n_new = 0
+        n_corrupt = 0
+        for raw in lines:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            kind, entry = _classify_line(line, self.code_version)
+            if kind == "corrupt":
+                n_corrupt += 1
+            elif kind == "foreign":
+                self._foreign[entry["key"]] = entry
+            else:
+                self._entries[entry["key"]] = entry
+                n_new += 1
+        if n_corrupt:
+            warnings.warn(
+                StoreCorruptionWarning(
+                    f"{self.path}: skipped {n_corrupt} corrupt/truncated "
+                    f"tail line(s); {len(self._entries)} intact result(s) "
+                    f"indexed (a torn line is the signature of a writer "
+                    f"that crashed mid-put)"
+                ),
+                stacklevel=2,
+            )
+        return n_new
 
     # -- lookup --------------------------------------------------------
     def key_for(self, case: Case, extra: Optional[Dict] = None) -> str:
@@ -374,3 +452,7 @@ class ResultStore:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        st = os.stat(self.path)
+        self._tail_offset = st.st_size
+        self._tail_pending = b""
+        self._tail_mtime_ns = st.st_mtime_ns

@@ -123,11 +123,31 @@ def _fmt_params(report) -> List[str]:
     return format_argv(report.macsio_params, report.nprocs)
 
 
+def _truncate_lines(path: str, keep: int) -> None:
+    """Truncate a response file to its first ``keep`` lines (resume:
+    drop output from batches the snapshot cursor does not cover)."""
+    import os as _os
+
+    if not _os.path.exists(path):
+        return
+    offset = 0
+    kept = 0
+    with open(path, "rb") as fh:
+        for line in fh:
+            if kept == keep:
+                break
+            offset += len(line)
+            kept += 1
+    with open(path, "r+b") as fh:
+        fh.truncate(offset)
+
+
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     """Answer batched prediction/lookup queries (JSONL in, JSONL out)."""
     import json as _json
+    import os as _os
 
-    from .service import PredictionService, serve_stream
+    from .service import PredictionService, SnapshotManager, serve_stream
 
     ap = argparse.ArgumentParser(prog="repro-serve", description=serve_main.__doc__)
     ap.add_argument("--requests", default="-", metavar="PATH",
@@ -139,23 +159,90 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
                     help="JSONL response file ('-' = stdout, the default); "
                          "one line per request, in request order")
     ap.add_argument("--store", metavar="PATH",
-                    help="ResultStore JSONL file backing lookup requests "
-                         "(campaign results become servable cache hits)")
+                    help="ResultStore backing lookup requests: a JSONL "
+                         "file, or a sharded store directory (campaign "
+                         "results become servable cache hits)")
     ap.add_argument("--cache-size", type=int, default=4096,
                     help="bound of the prediction LRU (default 4096)")
+    ap.add_argument("--batch-size", type=int, metavar="N",
+                    help="answer the stream in N-request batches (responses "
+                         "flushed and snapshots taken at batch boundaries; "
+                         "default: one batch)")
+    ap.add_argument("--max-queue", type=int, metavar="N",
+                    help="admission bound per batch: requests past N are "
+                         "shed with a ServiceOverloaded error response")
+    ap.add_argument("--deadline", type=float, metavar="SECONDS",
+                    help="time budget per batch; expired requests get a "
+                         "DeadlineExceeded error response at their index")
+    ap.add_argument("--request-deadline", type=float, metavar="SECONDS",
+                    help="time budget per request (same error shape)")
+    ap.add_argument("--snapshot", metavar="PATH",
+                    help="warm-cache snapshot file: restored on startup "
+                         "(cold start with a warning if corrupt), saved at "
+                         "batch boundaries")
+    ap.add_argument("--snapshot-every", type=int, default=1, metavar="N",
+                    help="snapshot every N batches (default 1)")
+    ap.add_argument("--resume", action="store_true",
+                    help="resume a killed stream: restore --snapshot, "
+                         "truncate --responses to the snapshot's cursor, "
+                         "and skip the already-answered requests "
+                         "(output is byte-identical to an uninterrupted run)")
+    ap.add_argument("--tolerate-errors", action="store_true",
+                    help="exit 0 even when some requests errored "
+                         "(default: nonzero exit, count on stderr)")
     ap.add_argument("--stats", action="store_true",
                     help="print serve/cache statistics to stderr")
     args = ap.parse_args(argv)
     if args.cache_size < 1:
         ap.error("--cache-size must be >= 1")
-    store = ResultStore(args.store) if args.store else None
+    if args.batch_size is not None and args.batch_size < 1:
+        ap.error("--batch-size must be >= 1")
+    if args.max_queue is not None and args.max_queue < 1:
+        ap.error("--max-queue must be >= 1")
+    if args.deadline is not None and args.deadline < 0:
+        ap.error("--deadline must be >= 0")
+    if args.request_deadline is not None and args.request_deadline < 0:
+        ap.error("--request-deadline must be >= 0")
+    if args.snapshot_every < 1:
+        ap.error("--snapshot-every must be >= 1")
+    if args.resume and not args.snapshot:
+        ap.error("--resume requires --snapshot")
+    if args.resume and args.responses == "-":
+        ap.error("--resume requires --responses PATH (stdout cannot be "
+                 "truncated to the snapshot cursor)")
+    store = None
+    if args.store:
+        if _os.path.isdir(args.store):
+            from .campaign.shard import ShardedResultStore
+
+            store = ShardedResultStore(args.store)
+        else:
+            store = ResultStore(args.store)
     service = PredictionService(store=store, cache_size=args.cache_size)
+    snapshots = None
+    skip = 0
+    if args.snapshot:
+        snapshots = SnapshotManager(service, args.snapshot,
+                                    every=args.snapshot_every)
+        snapshots.load()  # cold start (with a named warning) if corrupt
+        if args.resume:
+            skip = snapshots.served
+            _truncate_lines(args.responses, skip)
     infile = sys.stdin if args.requests == "-" else open(args.requests, "r",
                                                         encoding="utf-8")
-    outfile = sys.stdout if args.responses == "-" else open(args.responses, "w",
-                                                            encoding="utf-8")
+    out_mode = "a" if args.resume else "w"
+    outfile = sys.stdout if args.responses == "-" else open(
+        args.responses, out_mode, encoding="utf-8")
     try:
-        report = serve_stream(service, infile, outfile)
+        report = serve_stream(
+            service, infile, outfile,
+            batch_size=args.batch_size,
+            max_queue=args.max_queue,
+            deadline_s=args.deadline,
+            per_request_s=args.request_deadline,
+            snapshots=snapshots,
+            skip=skip,
+        )
     finally:
         if infile is not sys.stdin:
             infile.close()
@@ -164,11 +251,20 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     if args.stats:
         print(f"served {report.n_requests} request(s): "
               f"{report.n_predict} predict ({report.n_cached} cached), "
-              f"{report.n_lookup} lookup ({report.n_store_hits} hits), "
-              f"{report.n_errors} error(s)", file=sys.stderr)
+              f"{report.n_lookup} lookup ({report.n_store_hits} hits, "
+              f"{report.n_degraded} degraded), "
+              f"{report.n_errors} error(s) "
+              f"({report.n_shed} shed, {report.n_deadline} past deadline)",
+              file=sys.stderr)
         print(_json.dumps(service.stats(), indent=1), file=sys.stderr)
-    # per-request errors are data (captured in the response lines), not
-    # a process failure; only harness problems exit non-zero
+    # per-request errors are captured in the response lines as data, but
+    # the exit code still reports them so pipelines notice (suppress
+    # with --tolerate-errors when shed/expired requests are expected)
+    if report.n_errors and not args.tolerate_errors:
+        print(f"repro-serve: {report.n_errors} request(s) errored "
+              f"(responses carry the details; pass --tolerate-errors "
+              f"to exit 0)", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -36,6 +36,16 @@ Environment contract (all read live, never at import time):
 ``REPRO_FAULTS_CORRUPT``
     Probability or case-name list: a garbage non-JSON line is appended
     right after that case's record.
+``REPRO_FAULTS_STORE_SLOW``
+    Probability or case-name list: a *serving-side* store lookup for
+    that case sleeps ``REPRO_FAULTS_SLOW_S`` seconds before answering —
+    the slow-disk signature the service's circuit breaker counts as a
+    store fault (the record is still returned after the stall).
+``REPRO_FAULTS_SNAPSHOT_TORN``
+    Probability or tag list (the snapshot file's basename): the
+    service's warm-cache snapshot write is torn to a leading fragment,
+    so the next restore sees a checksum mismatch and must fall back to
+    a cold start with a named warning.
 """
 
 from __future__ import annotations
@@ -65,6 +75,8 @@ _ENV_KEYS = (
     "REPRO_FAULTS_KILL",
     "REPRO_FAULTS_TORN",
     "REPRO_FAULTS_CORRUPT",
+    "REPRO_FAULTS_STORE_SLOW",
+    "REPRO_FAULTS_SNAPSHOT_TORN",
 )
 
 
@@ -160,9 +172,14 @@ class FaultSpec:
     torn_cases: Tuple[str, ...] = ()
     corrupt_rate: float = 0.0
     corrupt_cases: Tuple[str, ...] = ()
+    store_slow_rate: float = 0.0
+    store_slow_cases: Tuple[str, ...] = ()
+    snapshot_torn_rate: float = 0.0
+    snapshot_torn_cases: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        for attr in ("transient_rate", "slow_rate", "torn_rate", "corrupt_rate"):
+        for attr in ("transient_rate", "slow_rate", "torn_rate", "corrupt_rate",
+                     "store_slow_rate", "snapshot_torn_rate"):
             rate = getattr(self, attr)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"FaultSpec.{attr} must be in [0, 1], got {rate}")
@@ -189,6 +206,10 @@ class FaultSpec:
             get("REPRO_FAULTS_TORN", ""), "REPRO_FAULTS_TORN")
         corrupt_rate, corrupt_cases = _parse_rate_or_names(
             get("REPRO_FAULTS_CORRUPT", ""), "REPRO_FAULTS_CORRUPT")
+        store_slow_rate, store_slow_cases = _parse_rate_or_names(
+            get("REPRO_FAULTS_STORE_SLOW", ""), "REPRO_FAULTS_STORE_SLOW")
+        snapshot_torn_rate, snapshot_torn_cases = _parse_rate_or_names(
+            get("REPRO_FAULTS_SNAPSHOT_TORN", ""), "REPRO_FAULTS_SNAPSHOT_TORN")
         try:
             seed = int(get("REPRO_FAULTS_SEED", "0"))
             attempts = int(get("REPRO_FAULTS_TRANSIENT_ATTEMPTS", "1"))
@@ -210,6 +231,10 @@ class FaultSpec:
             torn_cases=torn_cases,
             corrupt_rate=corrupt_rate,
             corrupt_cases=corrupt_cases,
+            store_slow_rate=store_slow_rate,
+            store_slow_cases=store_slow_cases,
+            snapshot_torn_rate=snapshot_torn_rate,
+            snapshot_torn_cases=snapshot_torn_cases,
         )
 
 
@@ -279,6 +304,30 @@ class FaultInjector:
         if case_name in self.spec.corrupt_cases:
             return True
         return self.roll("corrupt", case_name) < self.spec.corrupt_rate
+
+    def store_slow_seconds(self, key: str) -> float:
+        """Injected stall for one serving-side store lookup (0.0 = not
+        selected).
+
+        Reuses ``REPRO_FAULTS_SLOW_S`` as the duration; the selection is
+        a separate site/rate (``REPRO_FAULTS_STORE_SLOW``) so serving
+        chaos can stall store reads without also slowing case bodies.
+        """
+        if key in self.spec.store_slow_cases:
+            return self.spec.slow_seconds
+        if self.roll("store-slow", key) < self.spec.store_slow_rate:
+            return self.spec.slow_seconds
+        return 0.0
+
+    def snapshot_torn(self, tag: str) -> bool:
+        """Should this warm-cache snapshot write be torn to a fragment?
+
+        ``tag`` is the snapshot file's basename, so a name list pins the
+        tear to one snapshot path deterministically.
+        """
+        if tag in self.spec.snapshot_torn_cases:
+            return True
+        return self.roll("snapshot-torn", tag) < self.spec.snapshot_torn_rate
 
     def garbage_line(self, case_name: str) -> bytes:
         """A deterministic newline-terminated non-JSON line."""

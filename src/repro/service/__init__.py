@@ -6,7 +6,17 @@ plans and finished predictions in bounded LRU caches, and answers
 batches — ``predict_many`` bit-identical to per-call
 :func:`~repro.core.predictor.predict_sizes`, ``lookup_many`` hashing
 each unique case content once.  ``repro-serve`` is the JSONL CLI front
-end.  See ``docs/SERVICE.md``.
+end.
+
+The resilience layer (PR 9) bounds every wait and survives crashes:
+:class:`Deadline` budgets batches and requests (expiry is a named
+per-index :class:`DeadlineExceeded` response, never a batch failure),
+the serve loop sheds over-capacity requests with
+:class:`ServiceOverloaded`, :class:`StoreCircuitBreaker` flips a sick
+store into degraded predict-only answers, and
+:class:`SnapshotManager` checkpoints the warm caches so a killed
+service restarts warm — and, resumed mid-stream, byte-identical.
+See ``docs/SERVICE.md`` and ``docs/RESILIENCE.md``.
 """
 
 from .engine import PredictionService
@@ -20,7 +30,20 @@ from .request import (
     request_from_dict,
     response_to_dict,
 )
+from .resilience import (
+    Deadline,
+    DeadlineExceeded,
+    ServiceOverloaded,
+    StoreCircuitBreaker,
+)
 from .serve import ServeReport, serve_lines, serve_stream
+from .snapshot import (
+    SnapshotCorruptionWarning,
+    SnapshotInfo,
+    SnapshotManager,
+    load_snapshot,
+    save_snapshot,
+)
 
 __all__ = [
     "PredictionService",
@@ -35,4 +58,13 @@ __all__ = [
     "ServeReport",
     "serve_lines",
     "serve_stream",
+    "Deadline",
+    "DeadlineExceeded",
+    "ServiceOverloaded",
+    "StoreCircuitBreaker",
+    "SnapshotCorruptionWarning",
+    "SnapshotInfo",
+    "SnapshotManager",
+    "load_snapshot",
+    "save_snapshot",
 ]

@@ -82,6 +82,15 @@ class LRUCache:
                 "after eviction",
             )
 
+    def items(self):
+        """Uncounted ``(key, value)`` snapshot in LRU→MRU order.
+
+        The serialization surface for warm-cache snapshots: re-``put``
+        the pairs in this order and the restored cache evicts
+        identically to the original.
+        """
+        return list(self._data.items())
+
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it existed."""
         return self._data.pop(key, None) is not None

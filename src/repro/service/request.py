@@ -137,13 +137,22 @@ class PredictResponse:
 
 @dataclass(frozen=True)
 class LookupResponse:
-    """Answer to one :class:`LookupRequest`; ``hit`` means stored."""
+    """Answer to one :class:`LookupRequest`; ``hit`` means stored.
+
+    ``degraded=True`` marks a predict-only answer served while the
+    store circuit breaker is open (or the store read faulted): the
+    service could not consult the store, so ``record``/``hit`` are
+    empty and ``prediction`` carries the zero-run estimate instead —
+    an honest answer, flagged as such, rather than a stalled batch.
+    """
 
     index: int
     ok: bool
     record: Optional[RunRecord] = None
     hit: bool = False
     error: Optional[str] = None
+    degraded: bool = False
+    prediction: Optional[SizePrediction] = None
 
 
 Response = Union[PredictResponse, LookupResponse]
@@ -229,6 +238,15 @@ def response_to_dict(response: Response) -> Dict:
                 nprocs=r.nprocs,
                 n_dumps=len(r.steps),
                 total_bytes=float(sum(r.step_bytes)),
+            )
+        elif response.degraded:
+            p = response.prediction
+            out.update(
+                degraded=True,
+                machine=p.machine,
+                nprocs=p.nprocs,
+                n_dumps=len(p.step_bytes),
+                total_bytes=p.total_bytes,
             )
     else:
         out["error"] = response.error

@@ -5,14 +5,32 @@ Reads one JSON request object per input line, answers through a
 response object per line **in input order**.  Fault capture extends to
 the wire: a line that is not valid JSON, or not a valid request object,
 produces an error response at its index — never a batch failure.
+
+Resilience (PR 9) extends the loop in three directions, all of them
+per-request data rather than batch failures:
+
+* **Backpressure** — ``max_queue`` bounds the admission queue; requests
+  past capacity are shed with a named ``ServiceOverloaded`` error
+  response at their index and counted (``ServeReport.n_shed``).
+* **Deadlines** — ``deadline_s`` budgets each batch and
+  ``per_request_s`` each request; expiry surfaces as a named
+  ``DeadlineExceeded`` error response at the expired index.
+* **Crash safety** — :func:`serve_stream` chunks the input into
+  batches, flushes responses after each, and (when given a
+  :class:`~repro.service.snapshot.SnapshotManager`) snapshots the warm
+  caches at batch boundaries.  ``skip`` resumes mid-stream after a
+  crash: combined with truncating the response file to the snapshot's
+  cursor, a killed-and-restarted run produces byte-identical output to
+  an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, replace
-from typing import IO, Dict, Iterable, List, Tuple
+from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..faults import active as _faults_active
 from .engine import PredictionService
 from .request import (
     LookupRequest,
@@ -20,13 +38,15 @@ from .request import (
     request_from_dict,
     response_to_dict,
 )
+from .resilience import Deadline
+from .snapshot import SnapshotManager
 
 __all__ = ["ServeReport", "serve_lines", "serve_stream"]
 
 
 @dataclass
 class ServeReport:
-    """What one batch did: request/response counts by kind."""
+    """What one batch (or stream) did: request/response counts by kind."""
 
     n_requests: int = 0
     n_predict: int = 0
@@ -34,16 +54,33 @@ class ServeReport:
     n_errors: int = 0
     n_cached: int = 0
     n_store_hits: int = 0
+    n_shed: int = 0  # requests shed by the admission queue
+    n_degraded: int = 0  # predict-only lookup answers (breaker/fault)
+    n_deadline: int = 0  # requests expired past their deadline budget
+
+    def merge(self, other: "ServeReport") -> None:
+        """Fold another report's counters into this one (stream totals)."""
+        for field in self.__dataclass_fields__:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
 
 
 def serve_lines(
-    service: PredictionService, lines: Iterable[str]
+    service: PredictionService,
+    lines: Iterable[str],
+    max_queue: Optional[int] = None,
+    deadline: Union[None, float, Deadline] = None,
+    per_request_s: Optional[float] = None,
 ) -> Tuple[List[Dict], ServeReport]:
     """Answer a batch of JSONL request lines; responses in input order.
 
     Blank lines are skipped (a trailing newline is not a request).
+    ``max_queue`` is the admission bound: requests beyond it are shed
+    with a ``ServiceOverloaded`` error response at their index.  The
+    ``deadline`` budget is shared across the predict and lookup phases
+    of the batch; ``per_request_s`` bounds each request on its own.
     """
     report = ServeReport()
+    deadline = Deadline.of(deadline)
     parsed: List[Tuple[int, str]] = []
     responses: List[Dict] = []
     for line in lines:
@@ -52,6 +89,23 @@ def serve_lines(
             continue
         parsed.append((len(parsed), line))
         responses.append({})
+    report.n_requests = len(parsed)
+    # Admission control: everything past max_queue is shed *before*
+    # parsing — an overloaded service does not spend parse time on
+    # requests it will not answer.
+    if max_queue is not None and len(parsed) > max_queue:
+        for i, _ in parsed[max_queue:]:
+            responses[i] = {
+                "index": i, "ok": False, "shed": True,
+                "error": f"ServiceOverloaded: admission queue full "
+                         f"({len(parsed)} requests > max_queue={max_queue}); "
+                         f"request shed",
+            }
+            report.n_errors += 1
+            report.n_shed += 1
+            service.n_errors += 1
+            service.n_shed += 1
+        parsed = parsed[:max_queue]
     # Parse each line; malformed ones become error responses in place.
     predicts: List[Tuple[int, PredictRequest]] = []
     lookups: List[Tuple[int, LookupRequest]] = []
@@ -69,11 +123,14 @@ def serve_lines(
             predicts.append((i, request))
         else:
             lookups.append((i, request))
-    report.n_requests = len(parsed)
     report.n_predict = len(predicts)
     report.n_lookup = len(lookups)
+    deadline_before = service.n_deadline
     if predicts:
-        answers = service.predict_many([r for _, r in predicts])
+        answers = service.predict_many(
+            [r for _, r in predicts], deadline=deadline,
+            per_request_s=per_request_s,
+        )
         for (i, _), resp in zip(predicts, answers):
             resp = replace(resp, index=i)
             report.n_errors += not resp.ok
@@ -89,21 +146,90 @@ def serve_lines(
                              "(start the service with --store)",
                 }
                 report.n_errors += 1
+            report.n_deadline += service.n_deadline - deadline_before
             return responses, report
-        answers = service.lookup_many([r for _, r in lookups])
+        answers = service.lookup_many(
+            [r for _, r in lookups], deadline=deadline,
+            per_request_s=per_request_s,
+        )
         for (i, _), resp in zip(lookups, answers):
             resp = replace(resp, index=i)
             report.n_errors += not resp.ok
             report.n_store_hits += resp.hit
+            report.n_degraded += resp.degraded
             responses[i] = response_to_dict(resp)
+    report.n_deadline += service.n_deadline - deadline_before
     return responses, report
 
 
 def serve_stream(
-    service: PredictionService, infile: IO[str], outfile: IO[str]
+    service: PredictionService,
+    infile: IO[str],
+    outfile: IO[str],
+    batch_size: Optional[int] = None,
+    max_queue: Optional[int] = None,
+    deadline_s: Optional[float] = None,
+    per_request_s: Optional[float] = None,
+    snapshots: Optional[SnapshotManager] = None,
+    skip: int = 0,
 ) -> ServeReport:
-    """Serve a JSONL stream end to end (one response line per request)."""
-    responses, report = serve_lines(service, infile)
-    for payload in responses:
-        outfile.write(json.dumps(payload, separators=(",", ":")) + "\n")
+    """Serve a JSONL stream end to end (one response line per request).
+
+    With ``batch_size`` the stream is answered in chunks: responses are
+    flushed after every chunk and indices stay *global* (a response's
+    ``index`` is its request's position in the whole stream), so the
+    output is byte-identical to the unchunked run.  ``deadline_s``
+    budgets each batch; ``snapshots`` saves the warm caches at batch
+    boundaries (after the flush, so the snapshot's ``served`` cursor
+    never runs ahead of durable output); ``skip`` drops the first
+    *skip* request lines — the resume path after a crash restore.
+    """
+    report = ServeReport()
+    injector = _faults_active()
+    base = 0
+    batch_no = 0
+    for chunk in _chunks(infile, batch_size):
+        if base + len(chunk) <= skip:
+            base += len(chunk)
+            continue
+        if base < skip:  # partial chunk boundary: drop the served head
+            chunk = chunk[skip - base:]
+            base = skip
+        responses, batch_report = serve_lines(
+            service, chunk, max_queue=max_queue,
+            deadline=deadline_s, per_request_s=per_request_s,
+        )
+        report.merge(batch_report)
+        for payload in responses:
+            payload["index"] += base
+            outfile.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        outfile.flush()
+        base += len(responses)
+        batch_no += 1
+        if snapshots is not None:
+            snapshots.maybe_save(served=base)
+        # deterministic crash site: fires only when REPRO_FAULTS_KILL
+        # names this exact batch (e.g. "serve-batch-3:1") — the chaos
+        # suite kills here, restarts, and pins bit-identical output
+        if injector is not None:
+            injector.maybe_kill(f"serve-batch-{batch_no}", 0)
+    if snapshots is not None and snapshots.served != base:
+        snapshots.save(served=base)  # final cursor always lands on disk
     return report
+
+
+def _chunks(infile: IO[str], batch_size: Optional[int]) -> Iterable[List[str]]:
+    """Split the input into non-blank-line batches (one batch when
+    ``batch_size`` is None — the PR 6 single-batch behaviour)."""
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    chunk: List[str] = []
+    for line in infile:
+        if not line.strip():
+            continue
+        chunk.append(line)
+        if batch_size is not None and len(chunk) == batch_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -369,6 +369,74 @@ class TestRuleCorpus:
             tmp_path, {"src/repro/hydro/x.py": bad}, select={"RL009"})
         assert report.ok
 
+    def test_rl010_unbounded_store_wait_loop_fires(self, tmp_path):
+        bad = """
+            import time
+            def poll(store):
+                while True:
+                    n = store.refresh()
+                    if n:
+                        return n
+                    time.sleep(0.1)
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/service/x.py": bad}, select={"RL010"})
+        assert active_rules(report) == ["RL010"]
+        assert "deadline" in report.active[0].message
+
+    def test_rl010_deadline_guarded_loop_is_clean(self, tmp_path):
+        # the clean twin: same loop, but it consults a deadline budget
+        good = """
+            import time
+            def poll(store, deadline):
+                while not deadline.expired():
+                    n = store.refresh()
+                    if n:
+                        return n
+                    time.sleep(min(0.1, deadline.remaining()))
+                return 0
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/service/x.py": good}, select={"RL010"})
+        assert report.ok
+
+    def test_rl010_breaker_gated_loop_is_clean(self, tmp_path):
+        good = """
+            def drain(service, cases):
+                for case in cases:
+                    if not service.breaker.allow():
+                        break
+                    service.store.get_labeled(key(case), case.name)
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/service/x.py": good}, select={"RL010"})
+        assert report.ok
+
+    def test_rl010_ignores_loops_without_waiting_calls(self, tmp_path):
+        good = """
+            def tally(responses):
+                total = 0
+                for resp in responses:
+                    total += resp.ok
+                return total
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/service/x.py": good}, select={"RL010"})
+        assert report.ok
+
+    def test_rl010_does_not_apply_outside_service(self, tmp_path):
+        bad = """
+            import time
+            def poll(store):
+                while True:
+                    if store.refresh():
+                        return
+                    time.sleep(0.1)
+            """
+        report = run_lint(
+            tmp_path, {"src/repro/campaign/x.py": bad}, select={"RL010"})
+        assert report.ok
+
 
 class TestSuppressions:
     def test_same_line_allow_suppresses(self, tmp_path):
@@ -465,10 +533,10 @@ class TestRepoIsClean:
         assert report.n_files > 100
 
     def test_every_rule_has_a_distinct_id_and_slug(self):
-        assert len(RULE_IDS) == 9
-        assert len(set(RULE_IDS)) == 9
+        assert len(RULE_IDS) == 10
+        assert len(set(RULE_IDS)) == 10
         slugs = [r.slug for r in ALL_RULES]
-        assert len(set(slugs)) == 9
+        assert len(set(slugs)) == 10
 
 
 class TestCli:

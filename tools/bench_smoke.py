@@ -51,6 +51,7 @@ REQUIRED_JSON = {
     "BENCH_platforms.json",
     "BENCH_service.json",
     "BENCH_resilience.json",
+    "BENCH_service_resilience.json",
 }
 
 

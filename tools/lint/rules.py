@@ -1,19 +1,20 @@
 """The repro-lint rule catalog.
 
-Nine project-specific rules guarding the invariants the plan-cache era
+Ten project-specific rules guarding the invariants the plan-cache era
 rests on (see ``docs/LINT.md`` for the full catalog with examples):
 
-=========  =================  ================================================
-RL001      cache-key          tuple-keyed cache stores must key every input read
-RL002      mutable-plan       arrays stored in plans/caches must be frozen
-RL003      random             no module-level ``np.random.*`` / bare ``random.*``
-RL004      named-valueerror   ``ValueError`` messages must name the parameter
-RL005      broad-except       broad ``except`` must re-record, never swallow
-RL006      hot-loop           per-fab/per-rank Python loops in hot modules
-RL007      worker-capture     pool workers must not capture shared-mutable state
-RL008      api-docstring      ``__init__.py`` exports need docstrings
-RL009      retryable-outcome  campaign/service excepts must yield an outcome
-=========  =================  ================================================
+=========  ====================  =============================================
+RL001      cache-key             tuple-keyed cache stores must key every input read
+RL002      mutable-plan          arrays stored in plans/caches must be frozen
+RL003      random                no module-level ``np.random.*`` / bare ``random.*``
+RL004      named-valueerror      ``ValueError`` messages must name the parameter
+RL005      broad-except          broad ``except`` must re-record, never swallow
+RL006      hot-loop              per-fab/per-rank Python loops in hot modules
+RL007      worker-capture        pool workers must not capture shared-mutable state
+RL008      api-docstring         ``__init__.py`` exports need docstrings
+RL009      retryable-outcome     campaign/service excepts must yield an outcome
+RL010      bounded-service-wait  service I/O loops must consult deadline/breaker
+=========  ====================  =============================================
 
 Every rule is syntactic and intentionally *narrow*: it matches the
 idioms this codebase actually uses (``LRUCache.put``, ``_PLAN_CACHE[key]``,
@@ -918,6 +919,75 @@ class RetryableOutcome(Rule):
         return False
 
 
+# ----------------------------------------------------------------------
+class BoundedServiceWait(Rule):
+    """RL010: a serving-layer loop that waits on store or snapshot I/O
+    must consult a deadline or the circuit breaker.
+
+    The resilience contract (``docs/SERVICE.md``) is that the service
+    never waits unboundedly: every store access sits behind the
+    :class:`~repro.service.resilience.StoreCircuitBreaker` and every
+    batch behind a :class:`~repro.service.resilience.Deadline`.  A
+    ``while``/``for`` loop that sleeps, refreshes, or reads the store
+    without referencing either guard is a stall waiting to happen — a
+    sick store turns it into an infinite wait no budget can interrupt.
+
+    Narrow by design: fires only in ``src/repro/service/`` and only on
+    loops whose body performs a *waiting* call (``sleep``, ``refresh``,
+    ``get_labeled``, snapshot save/load); referencing any
+    deadline/breaker name anywhere in the loop satisfies it.
+    """
+
+    id = "RL010"
+    slug = "bounded-service-wait"
+    title = "service loops awaiting store/snapshot I/O must consult a deadline or breaker"
+
+    _PREFIXES = ("src/repro/service/",)
+    _WAIT_CALLS = re.compile(
+        r"(?:^|\.)(?:sleep|refresh|get_labeled|save_snapshot|load_snapshot"
+        r"|maybe_save|wait)$"
+    )
+    _GUARD_RE = re.compile(r"deadline|breaker", re.I)
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith(self._PREFIXES)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.While, ast.For)):
+                continue
+            waits = [
+                dotted_name(call.func)
+                for call in ast.walk(node)
+                if isinstance(call, ast.Call)
+            ]
+            waits = [dn for dn in waits if dn and self._WAIT_CALLS.search(dn)]
+            if not waits:
+                continue
+            if self._consults_guard(node):
+                continue
+            kind = "while" if isinstance(node, ast.While) else "for"
+            yield self.finding(
+                module, node,
+                f"`{kind}` loop awaits store/snapshot I/O "
+                f"({', '.join(sorted(set(waits)))}) without consulting a "
+                f"deadline or the circuit breaker; thread a Deadline "
+                f"(check/remaining/expired) or gate the access on "
+                f"breaker.allow() so a sick store cannot stall the loop "
+                f"unboundedly",
+            )
+
+    def _consults_guard(self, loop: ast.AST) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Name) and self._GUARD_RE.search(node.id):
+                return True
+            if isinstance(node, ast.Attribute) and self._GUARD_RE.search(node.attr):
+                return True
+            if isinstance(node, ast.arg) and self._GUARD_RE.search(node.arg):
+                return True
+        return False
+
+
 ALL_RULES = [
     CacheKeyCompleteness(),
     CachedBufferImmutability(),
@@ -928,4 +998,5 @@ ALL_RULES = [
     WorkerClosureCapture(),
     PublicApiDocstrings(),
     RetryableOutcome(),
+    BoundedServiceWait(),
 ]
