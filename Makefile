@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-service chaos bench bench-smoke bench-solver bench-dump bench-platforms bench-service bench-service-resilience bench-chaos lint docs-check ci all
+.PHONY: test test-service chaos bench bench-smoke bench-solver bench-trace bench-dump bench-platforms bench-service bench-service-resilience bench-chaos lint docs-check ci all
 
 all: test docs-check
 
@@ -29,9 +29,18 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
 
 # Full-size run of the AMR solver hot-path bench (plan-cached vs seed
-# loops); asserts the >=3x steps/sec floor and writes BENCH_solver.json.
+# loops, plus the fused shape-group advance vs the per-fab Godunov
+# loop); asserts the >=3x steps/sec and >=2x fused-advance floors and
+# writes BENCH_solver.json.
 bench-solver:
 	$(PYTHON) -m pytest benchmarks/bench_solver_hotpath.py -q -o python_files='bench_*.py'
+
+# Full-size run of the trace substrate bench (columnar vs event-list
+# aggregations at 10^6 records, per-record append parity, and the
+# 10^8-record spill scale-out child with its RSS ceiling); writes
+# BENCH_trace.json.
+bench-trace:
+	$(PYTHON) -m pytest benchmarks/bench_trace_columnar.py -q -o python_files='bench_*.py'
 
 # Full-size run of the batched dump-pipeline bench (plan-cached size
 # mode, fused data mode, vectorized inspect vs the seed per-fab loops at

@@ -23,6 +23,13 @@ plan-cached path must be >= 3x steps/sec; each row also isolates the
 ghost-exchange itself (seed scan vs plan replay), where the win is
 largest.
 
+Each row additionally times the *fused-kernel* advance: the pre-fusion
+per-fab Godunov loop (kept verbatim below, rotation copies included)
+vs :meth:`LevelSolver.advance`'s shape-group batching.  Both run over
+the same plan-cached ghost exchange, so the ``fused_speedup`` column
+isolates the kernel fusion itself; at the largest full mesh (512² in
+1024 fabs of 16²) it must be >= 2x, asserted.
+
 ``REPRO_BENCH_SMOKE=1`` shrinks the meshes to a harness check (artifact
 still emitted; the speedup floor is only asserted at full size).
 """
@@ -39,9 +46,11 @@ from repro.amr.distribution import round_robin_map
 from repro.amr.geometry import Geometry
 from repro.amr.multifab import MultiFab
 from repro.hydro.eos import GammaLawEOS
+from repro.hydro.reconstruction import interface_states
+from repro.hydro.riemann import RIEMANN_SOLVERS
 from repro.hydro.sedov import SedovProblem, initialize_multifab
 from repro.hydro.solver import LevelSolver
-from repro.hydro.state import NCOMP, cons_to_prim
+from repro.hydro.state import NCOMP, QU, QV, UMX, UMY, cons_to_prim
 from repro.hydro.timestep import cfl_timestep
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
@@ -54,6 +63,7 @@ FULL_STEPS = 6
 SMOKE_STEPS = 2
 NPROCS = 8
 SPEEDUP_FLOOR = 3.0  # steps/sec at the largest full mesh
+FUSED_SPEEDUP_FLOOR = 2.0  # fused advance vs per-fab advance, largest mesh
 
 EOS = GammaLawEOS()
 
@@ -90,6 +100,53 @@ def seed_bytes_per_rank(mf):
     for k, fab in enumerate(mf.fabs):
         out[mf.distribution[k]] += fab.nbytes_valid()
     return out
+
+
+# ----------------------------------------------------------------------
+# The pre-fusion per-fab Godunov advance, verbatim (the fused baseline).
+# ----------------------------------------------------------------------
+def _swap_uv(W):
+    Wr = W.copy()
+    Wr[QU] = W[QV]
+    Wr[QV] = W[QU]
+    return Wr
+
+
+def _swap_uv_flux(F):
+    Fr = F.copy()
+    Fr[UMX] = F[UMY]
+    Fr[UMY] = F[UMX]
+    return Fr
+
+
+def perfab_advance_patch(U, dt, dx, dy, eos, nghost=2):
+    solver = RIEMANN_SOLVERS["hllc"]
+    g = nghost
+    W = cons_to_prim(U, eos)
+    Wx = W[:, g - 2 : U.shape[1] - (g - 2), g : U.shape[2] - g]
+    WLx, WRx = interface_states(Wx, axis=1, limiter="minmod")
+    Fx = solver(WLx, WRx, eos)
+    nx = U.shape[1] - 2 * g
+    ny = U.shape[2] - 2 * g
+    Fx_valid = Fx[:, 1 : nx + 2, :]
+    Wy = W[:, g : U.shape[1] - g, g - 2 : U.shape[2] - (g - 2)]
+    WLy, WRy = interface_states(Wy, axis=2, limiter="minmod")
+    Gy = _swap_uv_flux(solver(_swap_uv(WLy), _swap_uv(WRy), eos))
+    Gy_valid = Gy[:, :, 1 : ny + 2]
+    Uv = U[:, g : g + nx, g : g + ny]
+    return Uv - dt / dx * (Fx_valid[:, 1:, :] - Fx_valid[:, :-1, :]) \
+              - dt / dy * (Gy_valid[:, :, 1:] - Gy_valid[:, :, :-1])
+
+
+def perfab_level_advance(solver, mf, dt):
+    dx, dy = solver.geom.cell_size
+    solver.fill_ghosts(mf)
+    updates = [
+        perfab_advance_patch(fab.data, dt, dx, dy, solver.eos, nghost=mf.nghost)
+        for fab in mf
+    ]
+    for fab, Unew in zip(mf, updates):
+        fab.interior()[...] = Unew
 
 
 # ----------------------------------------------------------------------
@@ -160,6 +217,24 @@ def _bench_one_mesh(n, max_grid, nsteps):
         mf_cached.fill_boundary()
     fill_replay_s = time.perf_counter() - t0
 
+    # Fused-kernel breakdown: the same advance (same plan-cached ghost
+    # exchange, same dt) through the pre-fusion per-fab loop and the
+    # fused shape-group path; small fixed dt keeps the states regular
+    # over the timed steps, and the results must stay bit-identical.
+    dt = 0.1 * solver.stable_dt(mf_cached, 0.5)
+    t0 = time.perf_counter()
+    for _ in range(nsteps):
+        perfab_level_advance(solver, mf_seed, dt)
+    adv_perfab_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(nsteps):
+        solver.advance(mf_cached, dt)
+    adv_fused_s = time.perf_counter() - t0
+    for sf, cf in zip(mf_seed, mf_cached):
+        assert np.array_equal(sf.data, cf.data), (
+            f"fused advance diverges from per-fab at n={n} box {sf.box}"
+        )
+
     seed_sps = nsteps / max(seed_s, 1e-9)
     cached_sps = nsteps / max(cached_s, 1e-9)
     return {
@@ -174,6 +249,9 @@ def _bench_one_mesh(n, max_grid, nsteps):
         "fill_seed_s": round(fill_seed_s, 4),
         "fill_replay_s": round(fill_replay_s, 4),
         "fill_speedup": round(fill_seed_s / max(fill_replay_s, 1e-9), 2),
+        "advance_perfab_s": round(adv_perfab_s, 4),
+        "advance_fused_s": round(adv_fused_s, 4),
+        "fused_speedup": round(adv_perfab_s / max(adv_fused_s, 1e-9), 2),
     }
 
 
@@ -192,6 +270,7 @@ def test_solver_hotpath_vs_seed(once, emit, bench_json, smoke):
         "steps_per_mesh": nsteps,
         "nprocs": NPROCS,
         "speedup_floor": SPEEDUP_FLOOR,
+        "fused_speedup_floor": FUSED_SPEEDUP_FLOOR,
         "rows": rows,
     }
     bench_json(BENCH_PATH, payload)
@@ -203,4 +282,9 @@ def test_solver_hotpath_vs_seed(once, emit, bench_json, smoke):
         assert top["speedup"] >= SPEEDUP_FLOOR, (
             f"plan-cached hot path only {top['speedup']}x the seed path at "
             f"{top['mesh']}^2 / {top['nfabs']} fabs (floor {SPEEDUP_FLOOR}x)"
+        )
+        assert top["fused_speedup"] >= FUSED_SPEEDUP_FLOOR, (
+            f"fused advance only {top['fused_speedup']}x the per-fab loop "
+            f"at {top['mesh']}^2 / {top['nfabs']} fabs "
+            f"(floor {FUSED_SPEEDUP_FLOOR}x)"
         )

@@ -140,6 +140,31 @@ class MultiFab:
         return sum(float(fab.interior(comp).sum()) for fab in self.fabs)
 
     # ------------------------------------------------------------------
+    # layout queries
+    # ------------------------------------------------------------------
+    def shape_groups(self) -> Tuple[np.ndarray, ...]:
+        """Fab indices grouped by identical valid ``(nx, ny)`` shape.
+
+        The substrate of the fused hydro kernels
+        (:class:`repro.hydro.fused.FusedLevelPlan`): after ``chop`` most
+        fabs of a level share one shape, so grouped fabs can be stacked
+        into a single ``(ncomp, nfabs, ...)`` array and run through one
+        kernel chain.  Groups are ordered by shape (``np.unique`` row
+        order) with indices ascending inside each group — a pure
+        function of the layout, so results for one ``boxarray`` never
+        change.  The returned int64 index arrays are frozen.
+        """
+        los, his = self.boxarray.corners()
+        shapes = his - los + 1
+        if len(shapes) == 0:
+            return ()
+        uniq, inverse = np.unique(shapes, axis=0, return_inverse=True)
+        return tuple(
+            sanitize.frozen(np.nonzero(inverse == g)[0].astype(np.int64))
+            for g in range(len(uniq))
+        )
+
+    # ------------------------------------------------------------------
     # ghost exchange
     # ------------------------------------------------------------------
     def _build_exchange_plan(self) -> List[Tuple[int, int, tuple, tuple]]:

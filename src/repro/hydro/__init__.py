@@ -8,7 +8,8 @@ its Sedov–Taylor self-similar analytic solution.
 
 from .boundary import BC, apply_boundary
 from .eos import GammaLawEOS
-from .flux import NGHOST_REQUIRED, advance_patch
+from .flux import NGHOST_REQUIRED, advance_patch, advance_stacked
+from .fused import FusedLevelPlan
 from .reconstruction import LIMITERS, interface_states, limited_slopes, mc_limiter, minmod, superbee
 from .riemann import RIEMANN_SOLVERS, euler_flux, hll_flux, hllc_flux, wave_speed_estimates
 from .sedov import (
@@ -41,6 +42,8 @@ __all__ = [
     "GammaLawEOS",
     "NGHOST_REQUIRED",
     "advance_patch",
+    "advance_stacked",
+    "FusedLevelPlan",
     "LIMITERS",
     "interface_states",
     "limited_slopes",

@@ -4,6 +4,11 @@ Castro's CTU/PPM machinery is approximated by a MUSCL–Hancock scheme:
 limited piecewise-linear slopes reconstruct left/right interface states.
 Three classic limiters are provided; minmod is the default for
 robustness at the Sedov shock.
+
+The stencils are expressed with axis-generic slicing so the same code
+serves the single-patch ``(4, nx, ny)`` layout and the fused multi-fab
+``(4, nfabs, nx, ny)`` stack (see :mod:`repro.hydro.fused`): per cell
+the arithmetic is identical, so results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -37,26 +42,42 @@ def superbee(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 LIMITERS = {"minmod": minmod, "mc": mc_limiter, "superbee": superbee}
 
 
-def limited_slopes(W: np.ndarray, axis: int, limiter: str = "minmod") -> np.ndarray:
-    """Limited slope per cell along ``axis`` (1 or 2 of a (4, nx, ny) array).
+def _along(ndim: int, axis: int, sl: slice) -> tuple:
+    """Index tuple selecting ``sl`` along ``axis`` of an ``ndim`` array."""
+    idx = [slice(None)] * ndim
+    idx[axis] = sl
+    return tuple(idx)
 
-    The outermost cells get zero slope (they only feed ghost regions).
+
+def _grid_axis(W: np.ndarray, axis: int) -> int:
+    """Normalize ``axis`` and reject the component axis (axis 0)."""
+    ax = axis + W.ndim if axis < 0 else axis
+    if not 1 <= ax < W.ndim:
+        raise ValueError(
+            f"axis must be a grid axis in [1, {W.ndim - 1}] "
+            f"(or negative equivalent), got {axis}"
+        )
+    return ax
+
+
+def limited_slopes(W: np.ndarray, axis: int, limiter: str = "minmod") -> np.ndarray:
+    """Limited slope per cell along a grid ``axis`` of a (4, ...) array.
+
+    ``axis`` is any axis but the leading component axis (negative
+    indices count from the end, so ``-2``/``-1`` are the x/y grid axes
+    of both single-patch and stacked layouts).  The outermost cells get
+    zero slope (they only feed ghost regions).
     """
     try:
         lim = LIMITERS[limiter]
     except KeyError:
         raise ValueError(f"unknown limiter {limiter!r}; choose from {sorted(LIMITERS)}") from None
+    ax = _grid_axis(W, axis)
+    mid = _along(W.ndim, ax, slice(1, -1))
+    lo = _along(W.ndim, ax, slice(None, -2))
+    hi = _along(W.ndim, ax, slice(2, None))
     dW = np.zeros_like(W)
-    if axis == 1:
-        dl = W[:, 1:-1, :] - W[:, :-2, :]
-        dr = W[:, 2:, :] - W[:, 1:-1, :]
-        dW[:, 1:-1, :] = lim(dl, dr)
-    elif axis == 2:
-        dl = W[:, :, 1:-1] - W[:, :, :-2]
-        dr = W[:, :, 2:] - W[:, :, 1:-1]
-        dW[:, :, 1:-1] = lim(dl, dr)
-    else:
-        raise ValueError("axis must be 1 (x) or 2 (y)")
+    dW[mid] = lim(W[mid] - W[lo], W[hi] - W[mid])
     return dW
 
 
@@ -68,10 +89,9 @@ def interface_states(W: np.ndarray, axis: int, limiter: str = "minmod"):
     ``WL[k] = W[k] + dW[k]/2``, ``WR[k] = W[k+1] - dW[k+1]/2``.
     """
     dW = limited_slopes(W, axis, limiter)
-    if axis == 1:
-        WL = W[:, :-1, :] + 0.5 * dW[:, :-1, :]
-        WR = W[:, 1:, :] - 0.5 * dW[:, 1:, :]
-    else:
-        WL = W[:, :, :-1] + 0.5 * dW[:, :, :-1]
-        WR = W[:, :, 1:] - 0.5 * dW[:, :, 1:]
+    ax = _grid_axis(W, axis)
+    lo = _along(W.ndim, ax, slice(None, -1))
+    hi = _along(W.ndim, ax, slice(1, None))
+    WL = W[lo] + 0.5 * dW[lo]
+    WR = W[hi] - 0.5 * dW[hi]
     return WL, WR

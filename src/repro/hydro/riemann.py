@@ -3,8 +3,17 @@
 Castro defaults to a full two-shock solver; HLLC captures the same wave
 families (two acoustic waves + contact) and is standard for Sedov-type
 blast problems.  Both solvers operate on primitive left/right states of
-shape (4, ...) with the *normal* velocity in component ``QU`` — the flux
-driver rotates states for the y-direction.
+shape (4, ...).
+
+The *normal*/*transverse* velocity components are parameters
+``(iu, iv)`` rather than hardwired to ``(QU, QV)``: the flux driver
+passes ``(QV, QU)`` for the y-direction, so y-fluxes are computed
+directly in place of the old rotate → solve → un-rotate sequence and
+its two full-array copies per call.  The conserved momentum indices
+coincide (``UMX == QU``, ``UMY == QV``), so the same pair indexes the
+flux vector.  Relabeling components this way reorders only commutative
+multiplications, so the direct y-flux is bit-identical to the rotated
+one.
 """
 
 from __future__ import annotations
@@ -12,49 +21,51 @@ from __future__ import annotations
 import numpy as np
 
 from .eos import GammaLawEOS
-from .state import QP, QRHO, QU, QV, UEDEN, UMX, UMY, URHO
+from .state import QP, QRHO, QU, QV, UEDEN, URHO
 
 __all__ = ["euler_flux", "hll_flux", "hllc_flux", "wave_speed_estimates", "RIEMANN_SOLVERS"]
 
 
-def euler_flux(W: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
-    """Physical Euler flux in the normal (QU) direction from primitives."""
-    rho, u, v, p = W[QRHO], W[QU], W[QV], W[QP]
+def euler_flux(W: np.ndarray, eos: GammaLawEOS, iu: int = QU, iv: int = QV) -> np.ndarray:
+    """Physical Euler flux in the normal (``iu``) direction from primitives."""
+    rho, u, v, p = W[QRHO], W[iu], W[iv], W[QP]
     E = eos.total_energy_density(rho, u, v, p)
     F = np.empty_like(W)
     F[URHO] = rho * u
-    F[UMX] = rho * u * u + p
-    F[UMY] = rho * u * v
+    F[iu] = rho * u * u + p
+    F[iv] = rho * u * v
     F[UEDEN] = u * (E + p)
     return F
 
 
-def wave_speed_estimates(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS):
+def wave_speed_estimates(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS, iu: int = QU):
     """Davis-type signal speed estimates ``(SL, SR)``."""
     cL = eos.sound_speed(WL[QRHO], WL[QP])
     cR = eos.sound_speed(WR[QRHO], WR[QP])
-    SL = np.minimum(WL[QU] - cL, WR[QU] - cR)
-    SR = np.maximum(WL[QU] + cL, WR[QU] + cR)
+    SL = np.minimum(WL[iu] - cL, WR[iu] - cR)
+    SR = np.maximum(WL[iu] + cL, WR[iu] + cR)
     return SL, SR
 
 
-def _prim_to_cons_local(W: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
-    rho, u, v, p = W[QRHO], W[QU], W[QV], W[QP]
+def _prim_to_cons_local(W: np.ndarray, eos: GammaLawEOS, iu: int = QU, iv: int = QV) -> np.ndarray:
+    rho, u, v, p = W[QRHO], W[iu], W[iv], W[QP]
     U = np.empty_like(W)
     U[URHO] = rho
-    U[UMX] = rho * u
-    U[UMY] = rho * v
+    U[iu] = rho * u
+    U[iv] = rho * v
     U[UEDEN] = eos.total_energy_density(rho, u, v, p)
     return U
 
 
-def hll_flux(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
+def hll_flux(
+    WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS, iu: int = QU, iv: int = QV
+) -> np.ndarray:
     """Two-wave HLL flux."""
-    FL = euler_flux(WL, eos)
-    FR = euler_flux(WR, eos)
-    UL = _prim_to_cons_local(WL, eos)
-    UR = _prim_to_cons_local(WR, eos)
-    SL, SR = wave_speed_estimates(WL, WR, eos)
+    FL = euler_flux(WL, eos, iu, iv)
+    FR = euler_flux(WR, eos, iu, iv)
+    UL = _prim_to_cons_local(WL, eos, iu, iv)
+    UR = _prim_to_cons_local(WR, eos, iu, iv)
+    SL, SR = wave_speed_estimates(WL, WR, eos, iu)
     denom = SR - SL
     denom = np.where(np.abs(denom) < 1e-300, 1e-300, denom)
     Fmid = (SR * FL - SL * FR + SL * SR * (UR - UL)) / denom
@@ -62,15 +73,17 @@ def hll_flux(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
     return F
 
 
-def hllc_flux(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
+def hllc_flux(
+    WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS, iu: int = QU, iv: int = QV
+) -> np.ndarray:
     """Three-wave HLLC flux (Toro's formulation)."""
-    rhoL, uL, vL, pL = WL[QRHO], WL[QU], WL[QV], WL[QP]
-    rhoR, uR, vR, pR = WR[QRHO], WR[QU], WR[QV], WR[QP]
-    FL = euler_flux(WL, eos)
-    FR = euler_flux(WR, eos)
-    UL = _prim_to_cons_local(WL, eos)
-    UR = _prim_to_cons_local(WR, eos)
-    SL, SR = wave_speed_estimates(WL, WR, eos)
+    rhoL, uL, pL = WL[QRHO], WL[iu], WL[QP]
+    rhoR, uR, pR = WR[QRHO], WR[iu], WR[QP]
+    FL = euler_flux(WL, eos, iu, iv)
+    FR = euler_flux(WR, eos, iu, iv)
+    UL = _prim_to_cons_local(WL, eos, iu, iv)
+    UR = _prim_to_cons_local(WR, eos, iu, iv)
+    SL, SR = wave_speed_estimates(WL, WR, eos, iu)
     # Contact speed S* (Toro eq. 10.37).
     num = pR - pL + rhoL * uL * (SL - uL) - rhoR * uR * (SR - uR)
     den = rhoL * (SL - uL) - rhoR * (SR - uR)
@@ -78,12 +91,12 @@ def hllc_flux(WL: np.ndarray, WR: np.ndarray, eos: GammaLawEOS) -> np.ndarray:
     Sstar = num / den
 
     def star_state(W, U, S, eos_=eos):
-        rho, u, v, p = W[QRHO], W[QU], W[QV], W[QP]
+        rho, u, v, p = W[QRHO], W[iu], W[iv], W[QP]
         coef = rho * (S - u) / np.where(np.abs(S - Sstar) < 1e-300, 1e-300, S - Sstar)
         Ustar = np.empty_like(U)
         Ustar[URHO] = coef
-        Ustar[UMX] = coef * Sstar
-        Ustar[UMY] = coef * v
+        Ustar[iu] = coef * Sstar
+        Ustar[iv] = coef * v
         E = U[UEDEN]
         Ustar[UEDEN] = coef * (
             E / rho + (Sstar - u) * (Sstar + p / (rho * (S - u) + 1e-300))

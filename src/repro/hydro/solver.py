@@ -17,7 +17,8 @@ from ..amr.geometry import Geometry
 from ..amr.multifab import MultiFab
 from .boundary import BC, apply_boundary
 from .eos import GammaLawEOS
-from .flux import NGHOST_REQUIRED, advance_patch
+from .flux import NGHOST_REQUIRED
+from .fused import FusedLevelPlan
 from .state import cons_to_prim
 from .timestep import cfl_timestep, max_signal_speed
 
@@ -52,6 +53,19 @@ class LevelSolver:
         self.geom = geom
         self.eos = eos
         self.options = options
+        self._fused: Optional[FusedLevelPlan] = None
+
+    def _fused_plan(self, mf: MultiFab) -> FusedLevelPlan:
+        """The cached fused kernel plan, (re)built if stale.
+
+        Keyed on ``(boxarray.token, nghost, ncomp)`` — swapping in a new
+        BoxArray (what a regrid does) invalidates the plan without any
+        explicit bookkeeping, exactly like the ghost-exchange plan.
+        """
+        key = (mf.boxarray.token, mf.nghost, mf.ncomp)
+        if self._fused is None or self._fused.key != key:
+            self._fused = FusedLevelPlan(mf)
+        return self._fused
 
     # ------------------------------------------------------------------
     def fill_ghosts(self, mf: MultiFab) -> None:
@@ -106,9 +120,9 @@ class LevelSolver:
             # Sole intentional divergence from the seed: a *single* fab
             # with vanished wave speeds no longer raises here unless the
             # whole level's speeds vanish (the seed raised per fab).
-            U = np.concatenate(
-                [fab.interior().reshape(mf.ncomp, -1) for fab in mf], axis=1
-            )
+            # The fused plan's cached gather buffer replaces the old
+            # per-call np.concatenate (same cell order, no allocation).
+            U = self._fused_plan(mf).gather_interiors(mf)
             W = cons_to_prim(U, self.eos)
             return cfl_timestep(W, dx, dy, cfl, self.eos)
         smax = 0.0
@@ -124,27 +138,21 @@ class LevelSolver:
 
     # ------------------------------------------------------------------
     def advance(self, mf: MultiFab, dt: float) -> None:
-        """One conservative step on every fab, in place."""
+        """One conservative step on every fab, in place.
+
+        Runs the fused multi-fab kernels: same-shape fabs are stacked
+        and advanced with one kernel chain per shape-group (see
+        :class:`repro.hydro.fused.FusedLevelPlan`), bit-identical to a
+        per-fab ``advance_patch`` loop.
+        """
         if mf.nghost < NGHOST_REQUIRED:
             raise ValueError(
                 f"state MultiFab needs >= {NGHOST_REQUIRED} ghosts, has {mf.nghost}"
             )
         dx, dy = self.geom.cell_size
         self.fill_ghosts(mf)
-        updates = []
-        # lint: allow-loop(one vectorized advance_patch kernel per fab; O(nfabs) iterations)
-        for fab in mf:
-            Unew = advance_patch(
-                fab.data,
-                dt,
-                dx,
-                dy,
-                self.eos,
-                nghost=mf.nghost,
-                riemann=self.options.riemann,
-                limiter=self.options.limiter,
-            )
-            updates.append(Unew)
-        # lint: allow-loop(write-back is one slice assignment per fab)
-        for fab, Unew in zip(mf, updates):
-            fab.interior()[...] = Unew
+        self._fused_plan(mf).advance_level(
+            mf, dt, dx, dy, self.eos,
+            riemann=self.options.riemann,
+            limiter=self.options.limiter,
+        )

@@ -1,4 +1,4 @@
-"""Darshan-like I/O trace recorder (columnar).
+"""Darshan-like I/O trace recorder (columnar, spillable).
 
 Carns et al. (the paper's ref. [19]) characterize application I/O by
 recording per-file counters rather than event lists.  :class:`IOTrace`
@@ -16,6 +16,24 @@ campaigns tractable.  The public API is unchanged from the event-list
 implementation — :class:`IORecord` objects are materialized lazily for
 iteration — and every aggregation returns byte-identical results.
 
+Two scale mechanisms sit on top of the columns:
+
+- **Pending-row buffering**: single :meth:`IOTrace.record` calls append
+  one Python tuple (ids interned inline) to a pending list and flush to
+  the numpy columns in bulk, so scalar-append-heavy writers pay no
+  per-call numpy overhead.  Every read entry point syncs the buffer
+  first; the buffering is invisible to consumers.
+- **Chunk spill**: constructed with ``spill_dir=...``, the trace seals
+  each full ``chunk_records`` block of rows into raw ``int64`` files
+  (one per field) and drops them from RAM.  Aggregations stream chunk
+  by chunk over ``np.memmap`` re-opens — one chunk resident at a time —
+  so 10^8-record campaigns stay flat in RSS.  Sealed chunks carry a
+  crc32 fingerprint (computed at seal, re-verified at every re-open
+  under ``REPRO_SANITIZE=1``) so on-disk drift raises
+  :class:`repro.sanitize.SanitizeError` at the read site.  Give each
+  trace its own ``spill_dir``; chunk files are named by sequence
+  number within the directory.
+
 Error contract: :meth:`IOTrace.bytes_per_rank` raises ``ValueError``
 (naming the offending rank) when a recorded rank falls outside a
 caller-supplied ``nprocs``, instead of corrupting the vector or dying
@@ -24,14 +42,33 @@ with a bare ``IndexError``.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+
+from .. import sanitize
 
 __all__ = ["IORecord", "IOTrace", "TraceColumns"]
 
 _INITIAL_CAPACITY = 256
+
+# Pending rows flush to the numpy columns in blocks of this many; the
+# value only bounds the buffer (reads sync eagerly), it is not a tuning
+# knob consumers see.
+_PENDING_FLUSH = 4096
+
+_FIELDS = ("step", "level", "rank", "nbytes", "kind", "path")
 
 _IntOrSeq = Union[int, Sequence[int], np.ndarray]
 
@@ -82,6 +119,33 @@ class TraceColumns:
                 f"trace contains rank {bad} but nprocs={nprocs}; "
                 "pass nprocs > the largest recorded rank"
             )
+
+
+class _Segment(NamedTuple):
+    """One contiguous block of trace rows (a sealed chunk or the live tail)."""
+
+    step: np.ndarray
+    level: np.ndarray
+    rank: np.ndarray
+    nbytes: np.ndarray
+    kind: np.ndarray
+    path: np.ndarray
+
+
+@dataclass
+class _SealedChunk:
+    """A spilled block: field-file paths, row count, and its seal crc.
+
+    Holds *paths*, never open memmaps — the trace stays picklable and a
+    chunk's pages are only resident while an aggregation streams it.
+    ``crc`` is None when the chunk was sealed without the sanitizer; the
+    first sanitized re-open adopts the on-disk fingerprint (mirroring
+    the plan caches' lazy checksum).
+    """
+
+    length: int
+    files: Dict[str, str]
+    crc: Optional[int]
 
 
 def _readonly(arr: np.ndarray) -> np.ndarray:
@@ -146,10 +210,67 @@ def _distinct_sorted(vals: np.ndarray) -> List[int]:
     return np.unique(vals).tolist()
 
 
-class IOTrace:
-    """Accumulates write records columnarly and answers aggregate queries."""
+def _triple_sums(
+    step: np.ndarray, level: np.ndarray, rank: np.ndarray, nbytes: np.ndarray
+) -> Dict[Tuple[int, int, int], int]:
+    """Exact byte sums grouped by (step, level, rank) for one block."""
+    if len(step) == 0:
+        return {}
+    # Composite int64 key: offset each column to >= 0, mix by range.
+    s0, l0, r0 = int(step.min()), int(level.min()), int(rank.min())
+    sspan = int(step.max()) - s0 + 1
+    lspan = int(level.max()) - l0 + 1
+    rspan = int(rank.max()) - r0 + 1
+    if sspan * lspan * rspan >= 2**63:
+        # Composite key would overflow int64: group row-wise instead.
+        rows = np.stack([step, level, rank], axis=1)
+        uniq_rows, inverse = np.unique(rows, axis=0, return_inverse=True)
+        sums = _int_bincount(inverse, nbytes, len(uniq_rows))
+        return {
+            (int(s), int(l), int(r)): int(v)
+            for (s, l, r), v in zip(uniq_rows, sums)
+        }
+    key = (step - s0).astype(np.int64)  # new array; in-place ops below
+    key *= lspan
+    key += level
+    key -= l0
+    key *= rspan
+    key += rank
+    key -= r0
+    uniq, sums = _grouped_sums(key, nbytes)
+    # Decode composite keys back to (step, level, rank).
+    q, rr = np.divmod(uniq, rspan)
+    ss, ll = np.divmod(q, lspan)
+    return {
+        (s + s0, l + l0, r + r0): v
+        for s, l, r, v in zip(ss.tolist(), ll.tolist(), rr.tolist(), sums.tolist())
+    }
 
-    def __init__(self) -> None:
+
+class IOTrace:
+    """Accumulates write records columnarly and answers aggregate queries.
+
+    ``spill_dir=None`` (the default) keeps every record in RAM exactly
+    as before.  With a ``spill_dir``, each full ``chunk_records`` block
+    is sealed to raw int64 field files there and streamed back through
+    ``np.memmap`` on demand; aggregations are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        spill_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        chunk_records: int = 1_000_000,
+    ) -> None:
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        self._spill_dir = None if spill_dir is None else os.fspath(spill_dir)
+        self._chunk_records = int(chunk_records)
+        if self._spill_dir is not None:
+            os.makedirs(self._spill_dir, exist_ok=True)
+        self._chunks: List[_SealedChunk] = []
+        self._sealed = 0  # rows living in sealed chunks
+        self._pending: List[Tuple[int, int, int, int, int, int]] = []
+        self._rank_hi = -1  # running max rank over all flushed rows
         self._n = 0
         self._cap = _INITIAL_CAPACITY
         self._step = np.empty(self._cap, dtype=np.int64)
@@ -209,15 +330,15 @@ class IOTrace:
     ) -> None:
         if nbytes < 0:
             raise ValueError("nbytes cannot be negative")
-        self._reserve(1)
-        i = self._n
-        self._step[i] = step
-        self._level[i] = level
-        self._rank[i] = rank
-        self._nbytes[i] = nbytes
-        self._kind[i] = self._intern_kind(kind)
-        self._path[i] = self._intern_path(path)
-        self._n = i + 1
+        # One tuple append per call; the numpy stores happen in bulk at
+        # flush time, so scalar-append writers pay list speed, not
+        # six scalar ndarray writes.
+        self._pending.append(
+            (step, level, rank, nbytes,
+             self._intern_kind(kind), self._intern_path(path))
+        )
+        if len(self._pending) >= _PENDING_FLUSH:
+            self._flush_pending()
 
     def record_batch(
         self,
@@ -236,6 +357,7 @@ class IOTrace:
         the SIF shared-file pattern).  Equivalent to calling
         :meth:`record` in a loop, in order.
         """
+        self._flush_pending()  # keep global record order
         single_path = isinstance(paths, str)
         cols = [np.atleast_1d(np.asarray(c, dtype=np.int64))
                 for c in (step, level, rank, nbytes)]
@@ -271,49 +393,215 @@ class IOTrace:
         self._kind[lo:hi] = self._intern_kind(kind)
         self._path[lo:hi] = path_ids
         self._n = hi
+        if n:
+            hi_rank = int(cols[2].max())
+            if hi_rank > self._rank_hi:
+                self._rank_hi = hi_rank
+        self._maybe_seal()
 
     def record_burst_time(self, step: int, seconds: float) -> None:
         self._burst_seconds[step] = self._burst_seconds.get(step, 0.0) + seconds
 
     # ------------------------------------------------------------------
+    # pending flush + chunk sealing
+    # ------------------------------------------------------------------
+    def _flush_pending(self) -> None:
+        pend = self._pending
+        if not pend:
+            return
+        n = len(pend)
+        self._reserve(n)
+        rows = np.array(pend, dtype=np.int64)
+        lo, hi = self._n, self._n + n
+        self._step[lo:hi] = rows[:, 0]
+        self._level[lo:hi] = rows[:, 1]
+        self._rank[lo:hi] = rows[:, 2]
+        self._nbytes[lo:hi] = rows[:, 3]
+        self._kind[lo:hi] = rows[:, 4]
+        self._path[lo:hi] = rows[:, 5]
+        self._n = hi
+        pend.clear()
+        hi_rank = int(rows[:, 2].max())
+        if hi_rank > self._rank_hi:
+            self._rank_hi = hi_rank
+        self._maybe_seal()
+
+    def _sync(self) -> None:
+        """Flush buffered rows; every read entry point calls this first."""
+        if self._pending:
+            self._flush_pending()
+
+    def _maybe_seal(self) -> None:
+        if self._spill_dir is None:
+            return
+        while self._n >= self._chunk_records:
+            self._seal_one()
+
+    def _seal_one(self) -> None:
+        """Spill the oldest ``chunk_records`` live rows to raw int64 files."""
+        c = self._chunk_records
+        k = len(self._chunks)
+        files: Dict[str, str] = {}
+        arrays = []
+        for name in _FIELDS:
+            arr = getattr(self, "_" + name)[:c]
+            path = os.path.join(self._spill_dir, f"chunk-{k:06d}.{name}.i64")
+            arr.tofile(path)
+            files[name] = path
+            arrays.append(arr)
+        crc = sanitize.checksum(tuple(arrays)) if sanitize.enabled() else None
+        self._chunks.append(_SealedChunk(length=c, files=files, crc=crc))
+        self._sealed += c
+        # Shift the unsealed tail down; O(remaining) with remaining < c.
+        rem = self._n - c
+        for name in _FIELDS:
+            col = getattr(self, "_" + name)
+            col[:rem] = col[c : self._n]
+        self._n = rem
+        # The live arrays changed identity-in-place: a cached (step, n)
+        # mask could otherwise match a future same-length live tail.
+        self._step_mask_cache = None
+
+    def _open_chunk(self, chunk: _SealedChunk) -> _Segment:
+        """Re-open a sealed chunk as read-only memmaps (verified under sanitize)."""
+        arrays = tuple(
+            np.memmap(chunk.files[name], dtype=np.int64, mode="r",
+                      shape=(chunk.length,))
+            for name in _FIELDS
+        )
+        if sanitize.enabled():
+            crc = sanitize.checksum(arrays)
+            if chunk.crc is None:
+                chunk.crc = crc
+            else:
+                sanitize.check(
+                    crc == chunk.crc,
+                    f"trace spill chunk drifted since seal "
+                    f"({chunk.files['step']}); the spill files were "
+                    "modified or truncated on disk",
+                )
+        return _Segment(*arrays)
+
+    def _segments(self) -> Iterator[_Segment]:
+        """Sealed chunks (record order) then the live tail, one at a time.
+
+        Each yielded chunk's memmaps die when the consumer drops the
+        segment, so a streaming aggregation keeps at most one chunk's
+        pages resident.
+        """
+        for chunk in self._chunks:
+            yield self._open_chunk(chunk)
+        n = self._n
+        if n:
+            yield _Segment(
+                self._step[:n], self._level[:n], self._rank[:n],
+                self._nbytes[:n], self._kind[:n], self._path[:n],
+            )
+
+    @staticmethod
+    def _select(
+        seg: _Segment,
+        step: Optional[int] = None,
+        level: Optional[int] = None,
+        kind_id: Optional[int] = None,
+    ) -> Optional[np.ndarray]:
+        """Boolean mask for a segment, or None when nothing filters."""
+        mask = None
+        if step is not None:
+            mask = seg.step == step
+        if level is not None:
+            m = seg.level == level
+            mask = m if mask is None else mask & m
+        if kind_id is not None:
+            m = seg.kind == kind_id
+            mask = m if mask is None else mask & m
+        return mask
+
+    # ------------------------------------------------------------------
+    # spill introspection
+    # ------------------------------------------------------------------
+    @property
+    def spill_dir(self) -> Optional[str]:
+        return self._spill_dir
+
+    @property
+    def spilled_records(self) -> int:
+        """Rows living in sealed on-disk chunks (0 without a spill dir)."""
+        return self._sealed
+
+    @property
+    def spilled_chunks(self) -> int:
+        return len(self._chunks)
+
+    # ------------------------------------------------------------------
     # record access (compatibility with the event-list implementation)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return self._n
-
-    def _materialize(self, i: int) -> IORecord:
-        return IORecord(
-            int(self._step[i]),
-            int(self._level[i]),
-            int(self._rank[i]),
-            int(self._nbytes[i]),
-            self._path_names[self._path[i]],
-            self._kind_names[self._kind[i]],
-        )
+        return self._sealed + self._n + len(self._pending)
 
     def __iter__(self) -> Iterator[IORecord]:
-        return (self._materialize(i) for i in range(self._n))
+        self._sync()
+
+        def generate() -> Iterator[IORecord]:
+            kinds, paths = self._kind_names, self._path_names
+            for seg in self._segments():
+                for i in range(len(seg.step)):
+                    yield IORecord(
+                        int(seg.step[i]),
+                        int(seg.level[i]),
+                        int(seg.rank[i]),
+                        int(seg.nbytes[i]),
+                        paths[seg.path[i]],
+                        kinds[seg.kind[i]],
+                    )
+
+        return generate()
 
     @property
     def records(self) -> Tuple[IORecord, ...]:
         return tuple(self)
 
     def columns(self) -> TraceColumns:
-        """Read-only columnar views for custom vectorized aggregations."""
-        n = self._n
+        """Read-only columnar views for custom vectorized aggregations.
+
+        With sealed chunks this *materializes* every spilled row back
+        into RAM (it is the whole-trace escape hatch); streaming
+        consumers should use the aggregation methods instead.
+        """
+        self._sync()
+        if not self._chunks:
+            n = self._n
+            return TraceColumns(
+                step=_readonly(self._step[:n]),
+                level=_readonly(self._level[:n]),
+                rank=_readonly(self._rank[:n]),
+                nbytes=_readonly(self._nbytes[:n]),
+                kind=_readonly(self._kind[:n]),
+                path=_readonly(self._path[:n]),
+                kinds=tuple(self._kind_names),
+                paths=tuple(self._path_names),
+            )
+        total = self._sealed + self._n
+        out = {name: np.empty(total, dtype=np.int64) for name in _FIELDS}
+        pos = 0
+        for seg in self._segments():
+            m = len(seg.step)
+            for name, arr in zip(_FIELDS, seg):
+                out[name][pos : pos + m] = arr
+            pos += m
         return TraceColumns(
-            step=_readonly(self._step[:n]),
-            level=_readonly(self._level[:n]),
-            rank=_readonly(self._rank[:n]),
-            nbytes=_readonly(self._nbytes[:n]),
-            kind=_readonly(self._kind[:n]),
-            path=_readonly(self._path[:n]),
+            step=_readonly(out["step"]),
+            level=_readonly(out["level"]),
+            rank=_readonly(out["rank"]),
+            nbytes=_readonly(out["nbytes"]),
+            kind=_readonly(out["kind"]),
+            path=_readonly(out["path"]),
             kinds=tuple(self._kind_names),
             paths=tuple(self._path_names),
         )
 
     # ------------------------------------------------------------------
-    # masks
+    # masks (live-tail fast paths; spilled traces stream per segment)
     # ------------------------------------------------------------------
     def _kind_mask(self, kind: Optional[str]) -> Optional[np.ndarray]:
         """None = all records; all-False when the kind was never seen."""
@@ -332,47 +620,105 @@ class IOTrace:
         self._step_mask_cache = (step, self._n, mask)
         return mask
 
+    def _kind_id_or_none(self, kind: Optional[str]) -> Tuple[Optional[int], bool]:
+        """(interned id or None, kind-was-requested-but-never-seen)."""
+        if kind is None:
+            return None, False
+        kid = self._kind_ids.get(kind)
+        return kid, kid is None
+
     # ------------------------------------------------------------------
     # aggregations — the (timestep, level, task) hierarchy of Fig. 2
     # ------------------------------------------------------------------
     def steps(self) -> List[int]:
-        return _distinct_sorted(self._step[: self._n])
+        self._sync()
+        if not self._chunks:
+            return _distinct_sorted(self._step[: self._n])
+        out: set = set()
+        for seg in self._segments():
+            out.update(_distinct_sorted(seg.step))
+        return sorted(out)
 
     def levels(self) -> List[int]:
-        lev = self._level[: self._n]
-        return _distinct_sorted(lev[lev >= 0])
+        self._sync()
+        if not self._chunks:
+            lev = self._level[: self._n]
+            return _distinct_sorted(lev[lev >= 0])
+        out: set = set()
+        for seg in self._segments():
+            lev = seg.level
+            out.update(_distinct_sorted(lev[lev >= 0]))
+        return sorted(out)
 
     def total_bytes(self, kind: Optional[str] = None) -> int:
-        mask = self._kind_mask(kind)
-        nb = self._nbytes[: self._n]
-        return int(nb.sum() if mask is None else nb[mask].sum())
+        self._sync()
+        if not self._chunks:
+            mask = self._kind_mask(kind)
+            nb = self._nbytes[: self._n]
+            return int(nb.sum() if mask is None else nb[mask].sum())
+        kid, never = self._kind_id_or_none(kind)
+        if never:
+            return 0
+        total = 0
+        for seg in self._segments():
+            nb = seg.nbytes if kid is None else seg.nbytes[seg.kind == kid]
+            total += int(nb.sum())
+        return total
 
     def bytes_per_step(self, kind: Optional[str] = None) -> Dict[int, int]:
-        step = self._step[: self._n]
-        nb = self._nbytes[: self._n]
-        mask = self._kind_mask(kind)
-        if mask is not None:
-            step, nb = step[mask], nb[mask]
-        uniq, sums = _grouped_sums(step, nb)
-        return dict(zip(uniq.tolist(), sums.tolist()))
+        self._sync()
+        if not self._chunks:
+            step = self._step[: self._n]
+            nb = self._nbytes[: self._n]
+            mask = self._kind_mask(kind)
+            if mask is not None:
+                step, nb = step[mask], nb[mask]
+            uniq, sums = _grouped_sums(step, nb)
+            return dict(zip(uniq.tolist(), sums.tolist()))
+        kid, never = self._kind_id_or_none(kind)
+        if never:
+            return {}
+        acc: Dict[int, int] = {}
+        for seg in self._segments():
+            mask = self._select(seg, kind_id=kid)
+            step = seg.step if mask is None else seg.step[mask]
+            nb = seg.nbytes if mask is None else seg.nbytes[mask]
+            uniq, sums = _grouped_sums(step, nb)
+            for s, v in zip(uniq.tolist(), sums.tolist()):
+                acc[s] = acc.get(s, 0) + v
+        return dict(sorted(acc.items()))
 
     def bytes_per_level(
         self, step: Optional[int] = None, kind: Optional[str] = None
     ) -> Dict[int, int]:
-        lev = self._level[: self._n]
-        nb = self._nbytes[: self._n]
-        mask = None
-        if step is not None:
-            mask = self._step_mask(step)
-        kmask = self._kind_mask(kind)
-        if kmask is not None:
-            mask = kmask if mask is None else mask & kmask
-        if mask is not None:
-            lev, nb = lev[mask], nb[mask]
-        # Grouping by level already separates the negative (metadata)
-        # levels — drop them from the result instead of pre-masking.
-        uniq, sums = _grouped_sums(lev, nb)
-        return {l: v for l, v in zip(uniq.tolist(), sums.tolist()) if l >= 0}
+        self._sync()
+        if not self._chunks:
+            lev = self._level[: self._n]
+            nb = self._nbytes[: self._n]
+            mask = None
+            if step is not None:
+                mask = self._step_mask(step)
+            kmask = self._kind_mask(kind)
+            if kmask is not None:
+                mask = kmask if mask is None else mask & kmask
+            if mask is not None:
+                lev, nb = lev[mask], nb[mask]
+            # Grouping by level already separates the negative (metadata)
+            # levels — drop them from the result instead of pre-masking.
+            uniq, sums = _grouped_sums(lev, nb)
+            return {l: v for l, v in zip(uniq.tolist(), sums.tolist()) if l >= 0}
+        kid, never = self._kind_id_or_none(kind)
+        if never:
+            return {}
+        acc: Dict[int, int] = {}
+        for seg in self._segments():
+            mask = self._select(seg, step=step, kind_id=kid)
+            lev = seg.level if mask is None else seg.level[mask]
+            nb = seg.nbytes if mask is None else seg.nbytes[mask]
+            uniq, sums = _grouped_sums(lev, nb)
+            for l, v in zip(uniq.tolist(), sums.tolist()):
+                acc[l] = acc.get(l, 0) + v
+        return {l: v for l, v in sorted(acc.items()) if l >= 0}
 
     def bytes_per_rank(
         self,
@@ -388,89 +734,110 @@ class IOTrace:
         with more ranks than the caller claims is a caller bug, not an
         index fault.
         """
-        all_ranks = self._rank[: self._n]
-        nb = self._nbytes[: self._n]
-        mask = None
-        if step is not None:
-            mask = self._step_mask(step)
-        if level is not None:
-            lmask = self._level[: self._n] == level
-            mask = lmask if mask is None else mask & lmask
-        kmask = self._kind_mask(kind)
-        if kmask is not None:
-            mask = kmask if mask is None else mask & kmask
-        ranks = all_ranks if mask is None else all_ranks[mask]
-        if mask is not None:
-            nb = nb[mask]
-        if len(ranks) and int(ranks.min()) < 0:
-            bad = int(ranks[ranks < 0][0])
-            raise ValueError(f"record has negative rank {bad}")
-        # Default width covers every recorded rank (filtered or not),
-        # matching the event-list implementation.
-        n = nprocs if nprocs is not None else (
-            int(all_ranks.max()) + 1 if self._n else 0
-        )
-        if nprocs is not None and len(ranks) and int(ranks.max()) >= nprocs:
-            bad = int(ranks[ranks >= nprocs][0])
-            raise ValueError(
-                f"trace contains rank {bad} but nprocs={nprocs}; "
-                "pass nprocs > the largest recorded rank"
+        self._sync()
+        if not self._chunks:
+            all_ranks = self._rank[: self._n]
+            nb = self._nbytes[: self._n]
+            mask = None
+            if step is not None:
+                mask = self._step_mask(step)
+            if level is not None:
+                lmask = self._level[: self._n] == level
+                mask = lmask if mask is None else mask & lmask
+            kmask = self._kind_mask(kind)
+            if kmask is not None:
+                mask = kmask if mask is None else mask & kmask
+            ranks = all_ranks if mask is None else all_ranks[mask]
+            if mask is not None:
+                nb = nb[mask]
+            if len(ranks) and int(ranks.min()) < 0:
+                bad = int(ranks[ranks < 0][0])
+                raise ValueError(f"record has negative rank {bad}")
+            # Default width covers every recorded rank (filtered or not),
+            # matching the event-list implementation.
+            n = nprocs if nprocs is not None else (
+                int(all_ranks.max()) + 1 if self._n else 0
             )
-        if n <= 0:
+            if nprocs is not None and len(ranks) and int(ranks.max()) >= nprocs:
+                bad = int(ranks[ranks >= nprocs][0])
+                raise ValueError(
+                    f"trace contains rank {bad} but nprocs={nprocs}; "
+                    "pass nprocs > the largest recorded rank"
+                )
+            if n <= 0:
+                return np.zeros(0, dtype=np.int64)
+            return _int_bincount(ranks, nb, n)
+        kid, never = self._kind_id_or_none(kind)
+        width = nprocs if nprocs is not None else (
+            self._rank_hi + 1 if len(self) else 0
+        )
+        acc = np.zeros(max(width, 0), dtype=np.int64)
+        if not never:
+            for seg in self._segments():
+                mask = self._select(seg, step=step, level=level, kind_id=kid)
+                ranks = seg.rank if mask is None else seg.rank[mask]
+                if not len(ranks):
+                    continue
+                nb = seg.nbytes if mask is None else seg.nbytes[mask]
+                if int(ranks.min()) < 0:
+                    bad = int(ranks[ranks < 0][0])
+                    raise ValueError(f"record has negative rank {bad}")
+                if nprocs is not None and int(ranks.max()) >= nprocs:
+                    bad = int(ranks[ranks >= nprocs][0])
+                    raise ValueError(
+                        f"trace contains rank {bad} but nprocs={nprocs}; "
+                        "pass nprocs > the largest recorded rank"
+                    )
+                acc += _int_bincount(ranks, nb, len(acc))
+        if width <= 0:
             return np.zeros(0, dtype=np.int64)
-        return _int_bincount(ranks, nb, n)
+        return acc
 
     def bytes_step_level_rank(self) -> Dict[Tuple[int, int, int], int]:
         """The full (timestep, level, task) -> bytes mapping (Eq. 2's y)."""
-        n = self._n
-        if n == 0:
-            return {}
-        step = self._step[:n]
-        level = self._level[:n]
-        rank = self._rank[:n]
-        # Composite int64 key: offset each column to >= 0, mix by range.
-        s0, l0, r0 = int(step.min()), int(level.min()), int(rank.min())
-        sspan = int(step.max()) - s0 + 1
-        lspan = int(level.max()) - l0 + 1
-        rspan = int(rank.max()) - r0 + 1
-        if sspan * lspan * rspan >= 2**63:
-            # Composite key would overflow int64: group row-wise instead.
-            rows = np.stack([step, level, rank], axis=1)
-            uniq_rows, inverse = np.unique(rows, axis=0, return_inverse=True)
-            sums = _int_bincount(inverse, self._nbytes[:n], len(uniq_rows))
-            return {
-                (int(s), int(l), int(r)): int(v)
-                for (s, l, r), v in zip(uniq_rows, sums)
-            }
-        key = step - s0  # new array; in-place ops avoid more temporaries
-        key *= lspan
-        key += level
-        key -= l0
-        key *= rspan
-        key += rank
-        key -= r0
-        uniq, sums = _grouped_sums(key, self._nbytes[:n])
-        # Decode composite keys back to (step, level, rank).
-        q, rr = np.divmod(uniq, rspan)
-        ss, ll = np.divmod(q, lspan)
-        return {
-            (s + s0, l + l0, r + r0): v
-            for s, l, r, v in zip(ss.tolist(), ll.tolist(), rr.tolist(), sums.tolist())
-        }
+        self._sync()
+        if not self._chunks:
+            n = self._n
+            return _triple_sums(
+                self._step[:n], self._level[:n], self._rank[:n], self._nbytes[:n]
+            )
+        acc: Dict[Tuple[int, int, int], int] = {}
+        for seg in self._segments():
+            for key, v in _triple_sums(
+                seg.step, seg.level, seg.rank, seg.nbytes
+            ).items():
+                acc[key] = acc.get(key, 0) + v
+        return acc
 
     def file_count(self, step: Optional[int] = None) -> int:
-        paths = self._path[: self._n]
-        if step is not None:
-            paths = paths[self._step_mask(step)]
-        if len(paths) == 0:
-            return 0
-        # Path ids are dense by construction: count distinct via bincount.
-        return int(np.count_nonzero(np.bincount(paths, minlength=len(self._path_names))))
+        self._sync()
+        if not self._chunks:
+            paths = self._path[: self._n]
+            if step is not None:
+                paths = paths[self._step_mask(step)]
+            if len(paths) == 0:
+                return 0
+            # Path ids are dense by construction: count distinct via bincount.
+            return int(np.count_nonzero(
+                np.bincount(paths, minlength=len(self._path_names))
+            ))
+        present = np.zeros(len(self._path_names), dtype=bool)
+        for seg in self._segments():
+            paths = seg.path if step is None else seg.path[seg.step == step]
+            if len(paths):
+                present[paths] = True
+        return int(np.count_nonzero(present))
 
     def cumulative_bytes_by_step(self) -> Tuple[np.ndarray, np.ndarray]:
         """(steps, cumulative bytes) series — the y-axis of Fig. 5."""
-        uniq, sums = _grouped_sums(self._step[: self._n], self._nbytes[: self._n])
-        return uniq.astype(np.int64), np.cumsum(sums.astype(np.float64))
+        self._sync()
+        if not self._chunks:
+            uniq, sums = _grouped_sums(self._step[: self._n], self._nbytes[: self._n])
+            return uniq.astype(np.int64), np.cumsum(sums.astype(np.float64))
+        per_step = self.bytes_per_step()  # already sorted by step
+        steps = np.fromiter(per_step.keys(), dtype=np.int64, count=len(per_step))
+        sums = np.fromiter(per_step.values(), dtype=np.int64, count=len(per_step))
+        return steps, np.cumsum(sums.astype(np.float64))
 
     def burst_seconds(self) -> Dict[int, float]:
         return dict(self._burst_seconds)

@@ -85,6 +85,7 @@ class CastroSim:
         distribution_strategy: str = "sfc",
         nnodes: int = 1,
         machine: str = "summit",
+        trace: Optional[IOTrace] = None,
     ) -> None:
         self.inputs = inputs
         self.nprocs = int(nprocs)
@@ -92,7 +93,10 @@ class CastroSim:
         self.eos = eos or GammaLawEOS()
         self.fs = fs if fs is not None else VirtualFileSystem()
         self.tag_criteria = tag_criteria
-        self.trace = IOTrace()
+        # Caller-supplied traces let paper-scale campaigns pass a
+        # spill-enabled IOTrace (see `IOTrace(spill_dir=...)`) so
+        # 10^8-record runs stay flat in RSS.
+        self.trace = trace if trace is not None else IOTrace()
         self.nnodes = nnodes
         platform = get_platform(machine)
         platform.check_nodes(self.nnodes)  # the job fits on the machine
@@ -205,7 +209,12 @@ class CastroSim:
 
     # ------------------------------------------------------------------
     def _fine_advance_once(self) -> float:
-        """One fine step; returns the dt taken."""
+        """One fine step; returns the dt taken.
+
+        ``advance_patch`` is the single-patch entry of the same fused
+        Godunov core the level solver batches over fab stacks, so the
+        dense fine-grid advance and the MultiFab path share one kernel.
+        """
         g = self._g
         inp = self.inputs
         W = cons_to_prim(self._U[:, g:-g, g:-g], self.eos)

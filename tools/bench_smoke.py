@@ -54,6 +54,17 @@ REQUIRED_JSON = {
     "BENCH_service_resilience.json",
 }
 
+# Measured columns the payloads must carry — a refactor that silently
+# drops one fails here, not after an expensive full-size run.
+REQUIRED_FIELDS = {
+    "BENCH_solver.json": lambda p: all(
+        "fused_speedup" in row for row in p.get("rows", [])
+    ) and bool(p.get("rows")),
+    "BENCH_trace.json": lambda p: "spill_maxrss_mb" in p.get("spill", {})
+    and all("append_speedup" in row for row in p.get("rows", []))
+    and bool(p.get("rows")),
+}
+
 
 def smoke_name(artifact: str) -> str:
     """The path a smoke run actually writes: ``BENCH_*_smoke.json`` for
@@ -120,9 +131,15 @@ def main() -> int:
             elif written.endswith(".json"):
                 try:
                     with open(path, encoding="utf-8") as fh:
-                        json.load(fh)
+                        payload = json.load(fh)
                 except ValueError as exc:
                     errors.append(f"{bench}: artifact {written} is not valid JSON: {exc}")
+                else:
+                    field_check = REQUIRED_FIELDS.get(artifact)
+                    if field_check is not None and not field_check(payload):
+                        errors.append(
+                            f"{bench}: artifact {written} is missing a "
+                            "required measured field (see REQUIRED_FIELDS)")
             if written == artifact:
                 continue
             # the full-size artifact must survive the smoke run untouched
